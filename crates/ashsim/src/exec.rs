@@ -1,0 +1,878 @@
+//! Self-timed execution of Pegasus circuits.
+//!
+//! The simulator implements the asynchronous-circuit semantics of §3.1:
+//! every edge is a bounded FIFO channel ("wires with registers"), and a node
+//! fires as soon as its required inputs are available and its consumers have
+//! space — there is no program counter and no instruction issue. Loop
+//! pipelining therefore *emerges*: multiple iterations flow through the
+//! merge/eta rings concurrently, throttled only by data dependences, token
+//! edges and channel capacity. Memory operations go through a load-store
+//! queue with a configurable number of ports (§7.3).
+//!
+//! Functional determinism follows from Kahn-network discipline: each channel
+//! delivers values in order, merges pop in global arrival order, and
+//! run-time constants are modeled as always-available *sticky* sources.
+
+use crate::memory::{Machine, MemStats, MemSystem};
+use cfgir::types::{BinOp, Type};
+use pegasus::{Graph, NodeId, NodeKind, Src};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The memory system timing model.
+    pub mem: MemSystem,
+    /// Memory operations that may issue per cycle (LSQ ports).
+    pub lsq_ports: u32,
+    /// Maximum memory operations in flight (LSQ size).
+    pub lsq_size: u32,
+    /// FIFO depth of every channel (hardware registers per wire).
+    pub channel_capacity: usize,
+    /// Hard cycle limit; exceeding it is an error.
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            mem: MemSystem::default(),
+            lsq_ports: 2,
+            lsq_size: 16,
+            channel_capacity: 2,
+            max_cycles: 200_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A perfect-memory configuration (useful for functional tests).
+    pub fn perfect() -> Self {
+        SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() }
+    }
+}
+
+/// The outcome of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// The value returned (if the returning `Return` carried one).
+    pub ret: Option<i64>,
+    /// Cycle at which the program returned.
+    pub cycles: u64,
+    /// Memory statistics (dynamic loads/stores count only predicate-true
+    /// accesses).
+    pub stats: MemStats,
+    /// Total node firings — a proxy for dynamic operation count.
+    pub fired: u64,
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Nothing can fire, nothing is in flight, and no return has happened.
+    Deadlock { cycle: u64 },
+    /// The cycle limit was reached (often an infinite source-level loop).
+    MaxCycles { limit: u64 },
+    /// A `Param` node had no corresponding argument.
+    MissingArgument { index: usize },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { cycle } => write!(f, "dataflow deadlock at cycle {cycle}"),
+            SimError::MaxCycles { limit } => write!(f, "exceeded {limit} simulated cycles"),
+            SimError::MissingArgument { index } => {
+                write!(f, "no argument supplied for parameter {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Runs `graph` on `machine` with the given arguments.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate(
+    graph: &Graph,
+    machine: &mut Machine,
+    args: &[i64],
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    Executor::new(graph, machine, args, config)?.run()
+}
+
+/// Diagnostic: runs the graph and, on deadlock, returns a report of every
+/// node with partially-filled inputs (which input ports are waiting).
+pub fn diagnose(
+    graph: &Graph,
+    machine: &mut Machine,
+    args: &[i64],
+    config: &SimConfig,
+) -> Result<SimResult, (SimError, String)> {
+    let mut ex = Executor::new(graph, machine, args, config).map_err(|e| (e, String::new()))?;
+    let run = {
+        // Run by stealing the loop: reuse `run` through a clone-free call.
+        // (Executor::run consumes self; replicate the outcome by calling it
+        // and reconstructing the report from the graph on error.)
+        let report_fifos = |ex: &Executor<'_>| {
+            use std::fmt::Write;
+            let mut s = String::new();
+            for id in ex.g.live_ids() {
+                let nin = ex.g.num_inputs(id);
+                if nin == 0 {
+                    continue;
+                }
+                let mut have = Vec::new();
+                let mut miss = Vec::new();
+                for p in 0..nin as u16 {
+                    if ex.avail(id, p) {
+                        have.push(p);
+                    } else {
+                        miss.push(p);
+                    }
+                }
+                let lens: Vec<usize> =
+                    (0..nin).map(|p| ex.fifos[id.index()][p].len()).collect();
+                if miss.is_empty() && nin > 0 {
+                    // Ready but not fired: must be blocked on output space.
+                    let _ = writeln!(
+                        s,
+                        "{id} READY-BLOCKED fifo lens {lens:?}"
+                    );
+                } else if !have.is_empty() {
+                    let _ = writeln!(
+                        s,
+                        "{id}: have {have:?}, waiting on {miss:?}, lens {lens:?}"
+                    );
+                }
+            }
+            for (id, st) in &ex.tokengen {
+                let _ = writeln!(s, "{id} TK credits={} queued={:?}", st.credits, st.queue);
+            }
+            s
+        };
+        // Inline variant of run() that can inspect state on failure.
+        loop {
+            let step = ex.step_once();
+            match step {
+                Ok(Some(r)) => break Ok(r),
+                Ok(None) => continue,
+                Err(e) => {
+                    let dump = report_fifos(&ex);
+                    break Err((e, dump));
+                }
+            }
+        }
+    };
+    run
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// Deliver `value` from output `(node, port)` to all its consumers.
+    Deliver { node: NodeId, port: u16, value: i64 },
+    /// An LSQ slot frees up.
+    LsqRelease,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MemRequest {
+    node: NodeId,
+    addr: u64,
+    value: i64, // store data
+    is_store: bool,
+}
+
+struct TokenGenState {
+    credits: u64,
+    /// Predicates seen but not yet granted, in arrival order. `true`
+    /// entries need a credit; `false` entries (the loop's exit wave, whose
+    /// operations are nullified) are granted for free so the consumer ring
+    /// can drain — the paper's counter reset plays the same role for its
+    /// fully-serialized loop model.
+    queue: VecDeque<bool>,
+}
+
+struct Executor<'a> {
+    g: &'a Graph,
+    machine: &'a mut Machine,
+    config: &'a SimConfig,
+    /// Per node, per input port: FIFO of (global sequence, value).
+    fifos: Vec<Vec<VecDeque<(u64, i64)>>>,
+    /// Space reserved for in-flight deliveries, per (node, port).
+    reserved: HashMap<(u32, u16), u32>,
+    /// Latest scheduled delivery time per output port: deliveries on one
+    /// edge must stay in FIFO order even when latencies vary (a nullified
+    /// memory operation completes instantly; a cache miss takes dozens of
+    /// cycles).
+    out_horizon: HashMap<(u32, u16), u64>,
+    /// Sticky (run-time constant) value of each node's output 0.
+    sticky: Vec<Option<i64>>,
+    /// Nodes with all-sticky inputs: they fire exactly once.
+    once_only: Vec<bool>,
+    has_fired: Vec<bool>,
+    /// Event queue: (time, sequence, event).
+    events: BinaryHeap<Reverse<(u64, u64, EvBox)>>,
+    /// Nodes to re-examine this cycle.
+    dirty: VecDeque<NodeId>,
+    in_dirty: Vec<bool>,
+    tokengen: HashMap<NodeId, TokenGenState>,
+    lsq_queue: VecDeque<MemRequest>,
+    lsq_in_flight: u32,
+    seq: u64,
+    now: u64,
+    fired: u64,
+    result: Option<(Option<i64>, u64)>,
+}
+
+/// Orderable wrapper so the heap can hold events (events are not `Ord`).
+#[derive(Debug, Clone, Copy)]
+struct EvBox(Ev);
+
+impl PartialEq for EvBox {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl Eq for EvBox {}
+impl PartialOrd for EvBox {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EvBox {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<'a> Executor<'a> {
+    fn new(
+        g: &'a Graph,
+        machine: &'a mut Machine,
+        args: &[i64],
+        config: &'a SimConfig,
+    ) -> Result<Self, SimError> {
+        let n = g.len();
+        let mut fifos = Vec::with_capacity(n);
+        for id in g.ids() {
+            let nin = if matches!(g.kind(id), NodeKind::Removed) {
+                0
+            } else {
+                g.num_inputs(id)
+            };
+            fifos.push(vec![VecDeque::new(); nin]);
+        }
+        // Sticky propagation over topological order.
+        let mut sticky: Vec<Option<i64>> = vec![None; n];
+        for id in pegasus::topo_order(g) {
+            let v = match g.kind(id) {
+                NodeKind::Const { value, ty } => Some(ty.normalize(*value)),
+                NodeKind::Param { index, ty } => match args.get(*index) {
+                    Some(v) => Some(ty.normalize(*v)),
+                    None => return Err(SimError::MissingArgument { index: *index }),
+                },
+                NodeKind::Addr { obj } => Some(machine.obj_base(*obj) as i64),
+                NodeKind::BinOp { op, ty } => {
+                    let a = g.input(id, 0).and_then(|i| sticky_of(&sticky, i.src));
+                    let b = g.input(id, 1).and_then(|i| sticky_of(&sticky, i.src));
+                    match (a, b) {
+                        (Some(a), Some(b)) => Some(op.eval(ty, a, b)),
+                        _ => None,
+                    }
+                }
+                NodeKind::UnOp { op, ty } => g
+                    .input(id, 0)
+                    .and_then(|i| sticky_of(&sticky, i.src))
+                    .map(|a| op.eval(ty, a)),
+                NodeKind::Cast { ty } => g
+                    .input(id, 0)
+                    .and_then(|i| sticky_of(&sticky, i.src))
+                    .map(|a| ty.normalize(a)),
+                NodeKind::Mux { ty } => {
+                    let nin = g.num_inputs(id);
+                    let mut vals = Vec::with_capacity(nin);
+                    for p in 0..nin as u16 {
+                        match g.input(id, p).and_then(|i| sticky_of(&sticky, i.src)) {
+                            Some(v) => vals.push(v),
+                            None => {
+                                vals.clear();
+                                break;
+                            }
+                        }
+                    }
+                    if vals.len() == nin && nin >= 2 {
+                        let mut out = 0i64;
+                        for k in 0..nin / 2 {
+                            if vals[2 * k] != 0 {
+                                out = ty.normalize(vals[2 * k + 1]);
+                            }
+                        }
+                        Some(out)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            sticky[id.index()] = v;
+        }
+        // Dynamic nodes whose inputs are *all* sticky correspond to
+        // operations of the entry hyperblock (executed exactly once): they
+        // must fire once, not continuously.
+        let mut once_only = vec![false; n];
+        for id in g.live_ids() {
+            if sticky[id.index()].is_some() {
+                continue;
+            }
+            let nin = g.num_inputs(id);
+            if nin == 0 {
+                continue;
+            }
+            let all = (0..nin as u16).all(|p| {
+                g.input(id, p)
+                    .map(|i| sticky_of(&sticky, i.src).is_some())
+                    .unwrap_or(false)
+            });
+            once_only[id.index()] = all;
+        }
+        let mut tokengen = HashMap::new();
+        for id in g.live_ids() {
+            if let NodeKind::TokenGen { n } = g.kind(id) {
+                tokengen.insert(
+                    id,
+                    TokenGenState { credits: u64::from(*n), queue: VecDeque::new() },
+                );
+            }
+        }
+        let mut ex = Executor {
+            g,
+            machine,
+            config,
+            fifos,
+            reserved: HashMap::new(),
+            out_horizon: HashMap::new(),
+            sticky,
+            once_only,
+            has_fired: vec![false; n],
+            events: BinaryHeap::new(),
+            dirty: VecDeque::new(),
+            in_dirty: vec![false; n],
+            tokengen,
+            lsq_queue: VecDeque::new(),
+            lsq_in_flight: 0,
+            seq: 0,
+            now: 0,
+            fired: 0,
+            result: None,
+        };
+        // Kick off: initial tokens fire at cycle 0; every node with only
+        // sticky inputs is examined once.
+        for id in g.live_ids() {
+            match g.kind(id) {
+                NodeKind::InitialToken => ex.push_event(0, Ev::Deliver { node: id, port: 0, value: 1 }),
+                _ => ex.mark_dirty(id),
+            }
+        }
+        Ok(ex)
+    }
+
+    fn push_event(&mut self, t: u64, ev: Ev) {
+        self.seq += 1;
+        self.events.push(Reverse((t, self.seq, EvBox(ev))));
+    }
+
+    fn mark_dirty(&mut self, id: NodeId) {
+        if !self.in_dirty[id.index()] {
+            self.in_dirty[id.index()] = true;
+            self.dirty.push_back(id);
+        }
+    }
+
+    fn run(mut self) -> Result<SimResult, SimError> {
+        loop {
+            match self.step_once() {
+                Ok(Some(r)) => return Ok(r),
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One scheduler round: deliveries, LSQ issue, firing, time advance.
+    /// Returns `Ok(Some(result))` on completion, `Ok(None)` to continue.
+    fn step_once(&mut self) -> Result<Option<SimResult>, SimError> {
+        {
+            // 1. Deliver everything scheduled for `now`.
+            while let Some(Reverse((t, _, _))) = self.events.peek() {
+                if *t > self.now {
+                    break;
+                }
+                let Reverse((_, _, EvBox(ev))) = self.events.pop().expect("peeked");
+                match ev {
+                    Ev::Deliver { node, port, value } => self.deliver(node, port, value),
+                    Ev::LsqRelease => self.lsq_in_flight -= 1,
+                }
+            }
+            // 2. Issue LSQ requests for this cycle.
+            self.lsq_issue();
+            // 3. Fire ready nodes; zero-latency cascades iterate.
+            let mut steps = 0usize;
+            let step_cap = 64 * self.g.len() + 1024;
+            while let Some(id) = self.dirty.pop_front() {
+                self.in_dirty[id.index()] = false;
+                self.try_fire(id);
+                if self.result.is_some() {
+                    break;
+                }
+                steps += 1;
+                if steps > step_cap {
+                    break; // zero-latency spin guard: defer to next cycle
+                }
+            }
+            if let Some((ret, cycles)) = self.result {
+                return Ok(Some(SimResult {
+                    ret,
+                    cycles,
+                    stats: self.machine.stats.clone(),
+                    fired: self.fired,
+                }));
+            }
+            // 4. Advance time.
+            let next_event = self.events.peek().map(|Reverse((t, _, _))| *t);
+            let busy = !self.dirty.is_empty() || !self.lsq_queue.is_empty();
+            let next = if busy {
+                self.now + 1
+            } else {
+                match next_event {
+                    Some(t) => t.max(self.now + 1),
+                    None => return Err(SimError::Deadlock { cycle: self.now }),
+                }
+            };
+            if next > self.config.max_cycles {
+                return Err(SimError::MaxCycles { limit: self.config.max_cycles });
+            }
+            self.now = next;
+        }
+        Ok(None)
+    }
+
+    /// Pushes `value` into the FIFO of every consumer of `(node, port)`.
+    fn deliver(&mut self, node: NodeId, port: u16, value: i64) {
+        self.seq += 1;
+        let seq = self.seq;
+        let consumers: Vec<(NodeId, u16)> = self
+            .g
+            .uses(node)
+            .iter()
+            .filter(|u| u.src_port == port)
+            .map(|u| (u.dst, u.dst_port))
+            .collect();
+        for (dst, dport) in consumers {
+            if let Some(r) = self.reserved.get_mut(&(dst.0, dport)) {
+                if *r > 0 {
+                    *r -= 1;
+                }
+            }
+            self.fifos[dst.index()][dport as usize].push_back((seq, value));
+            self.mark_dirty(dst);
+        }
+        // The producer may be waiting for space that just got consumed
+        // elsewhere; consumers of space changes are handled in `pop_input`.
+    }
+
+    /// Is input `port` of `id` available?
+    fn avail(&self, id: NodeId, port: u16) -> bool {
+        let inp = match self.g.input(id, port) {
+            Some(i) => i,
+            None => return false,
+        };
+        if sticky_of(&self.sticky, inp.src).is_some() {
+            return true;
+        }
+        !self.fifos[id.index()][port as usize].is_empty()
+    }
+
+    /// Oldest sequence number waiting on input `port` (non-sticky only).
+    fn front_seq(&self, id: NodeId, port: u16) -> Option<u64> {
+        self.fifos[id.index()][port as usize].front().map(|&(s, _)| s)
+    }
+
+    /// Pops input `port` (no-op for sticky inputs), waking the producer.
+    fn pop_input(&mut self, id: NodeId, port: u16) -> i64 {
+        let inp = self.g.input(id, port).expect("pop of connected input");
+        if let Some(v) = sticky_of(&self.sticky, inp.src) {
+            return v;
+        }
+        let (_, v) = self.fifos[id.index()][port as usize]
+            .pop_front()
+            .expect("pop of available input");
+        // Space freed: the producer might be blocked on it.
+        self.mark_dirty(inp.src.node);
+        v
+    }
+
+    /// Do all consumers of output `port` of `id` have space for one value?
+    fn space_for(&self, id: NodeId, port: u16) -> bool {
+        for u in self.g.uses(id) {
+            if u.src_port != port {
+                continue;
+            }
+            let len = self.fifos[u.dst.index()][u.dst_port as usize].len();
+            let res = *self.reserved.get(&(u.dst.0, u.dst_port)).unwrap_or(&0) as usize;
+            if len + res >= self.config.channel_capacity {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reserves one slot in every consumer of `(id, port)` (for deliveries
+    /// that complete later).
+    fn reserve(&mut self, id: NodeId, port: u16) {
+        for u in self.g.uses(id) {
+            if u.src_port == port {
+                *self.reserved.entry((u.dst.0, u.dst_port)).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Emits synchronously (zero latency): consumers see the value in this
+    /// same cycle.
+    fn emit_now(&mut self, id: NodeId, port: u16, value: i64) {
+        self.deliver(id, port, value);
+    }
+
+    /// Emits after `lat` cycles, reserving consumer space.
+    fn emit_later(&mut self, id: NodeId, port: u16, value: i64, lat: u64) {
+        self.reserve(id, port);
+        self.push_event(self.now + lat, Ev::Deliver { node: id, port, value });
+    }
+
+    /// Schedules a delivery no earlier than any previously scheduled
+    /// delivery on the same output port (in-order channels). The caller
+    /// reserves consumer space.
+    fn emit_ordered(&mut self, id: NodeId, port: u16, value: i64, t: u64) {
+        let h = self.out_horizon.entry((id.0, port)).or_insert(0);
+        let t2 = t.max(*h);
+        *h = t2;
+        self.push_event(t2, Ev::Deliver { node: id, port, value });
+    }
+
+    fn try_fire(&mut self, id: NodeId) {
+        // Loop: a node may be able to fire several times per cycle when
+        // multiple waves are queued; we fire at most a few to let others go.
+        for _ in 0..4 {
+            if !self.fire_once(id) {
+                return;
+            }
+            self.fired += 1;
+            self.has_fired[id.index()] = true;
+        }
+        // Still more queued? Come back later this cycle.
+        self.mark_dirty(id);
+    }
+
+    /// Attempts one firing; returns whether it fired.
+    fn fire_once(&mut self, id: NodeId) -> bool {
+        if self.sticky[id.index()].is_some() {
+            return false; // sticky nodes never fire dynamically
+        }
+        if self.once_only[id.index()] && self.has_fired[id.index()] {
+            return false; // entry-hyperblock op: one execution only
+        }
+        let kind = self.g.kind(id).clone();
+        match kind {
+            NodeKind::Removed
+            | NodeKind::Const { .. }
+            | NodeKind::Param { .. }
+            | NodeKind::Addr { .. }
+            | NodeKind::InitialToken => false,
+            NodeKind::BinOp { op, ref ty } => {
+                if !(self.avail(id, 0) && self.avail(id, 1) && self.space_for(id, 0)) {
+                    return false;
+                }
+                let a = self.pop_input(id, 0);
+                let b = self.pop_input(id, 1);
+                let v = op.eval(ty, a, b);
+                self.emit_later(id, 0, v, alu_latency(op));
+                true
+            }
+            NodeKind::UnOp { op, ref ty } => {
+                if !(self.avail(id, 0) && self.space_for(id, 0)) {
+                    return false;
+                }
+                let a = self.pop_input(id, 0);
+                self.emit_later(id, 0, op.eval(ty, a), 1);
+                true
+            }
+            NodeKind::Cast { ref ty } => {
+                if !(self.avail(id, 0) && self.space_for(id, 0)) {
+                    return false;
+                }
+                let a = self.pop_input(id, 0);
+                self.emit_now(id, 0, ty.normalize(a));
+                true
+            }
+            NodeKind::Mux { ref ty } => {
+                let nin = self.g.num_inputs(id);
+                for p in 0..nin {
+                    if !self.avail(id, p as u16) {
+                        return false;
+                    }
+                }
+                if !self.space_for(id, 0) {
+                    return false;
+                }
+                // Exactly one predicate is true in a well-formed program;
+                // the last true one wins otherwise.
+                let mut out = 0i64;
+                for k in 0..nin / 2 {
+                    let p = self.pop_input(id, (2 * k) as u16);
+                    let v = self.pop_input(id, (2 * k + 1) as u16);
+                    if p != 0 {
+                        out = ty.normalize(v);
+                    }
+                }
+                self.emit_now(id, 0, out);
+                true
+            }
+            NodeKind::Merge { .. } => {
+                if !self.space_for(id, 0) {
+                    return false;
+                }
+                // Pop the globally oldest waiting input.
+                let nin = self.g.num_inputs(id);
+                let mut best: Option<(u64, u16)> = None;
+                for p in 0..nin as u16 {
+                    if let Some(s) = self.front_seq(id, p) {
+                        if best.map(|(bs, _)| s < bs).unwrap_or(true) {
+                            best = Some((s, p));
+                        }
+                    }
+                }
+                match best {
+                    Some((_, p)) => {
+                        let v = self.pop_input(id, p);
+                        self.emit_now(id, 0, v);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            NodeKind::Eta { .. } => {
+                if !(self.avail(id, 0) && self.avail(id, 1) && self.space_for(id, 0)) {
+                    return false;
+                }
+                let v = self.pop_input(id, 0);
+                let p = self.pop_input(id, 1);
+                if p != 0 {
+                    self.emit_now(id, 0, v);
+                }
+                true
+            }
+            NodeKind::Combine => {
+                let nin = self.g.num_inputs(id);
+                for p in 0..nin as u16 {
+                    if !self.avail(id, p) {
+                        return false;
+                    }
+                }
+                if !self.space_for(id, 0) {
+                    return false;
+                }
+                for p in 0..nin as u16 {
+                    self.pop_input(id, p);
+                }
+                self.emit_now(id, 0, 1);
+                true
+            }
+            NodeKind::TokenGen { .. } => self.fire_tokengen(id),
+            NodeKind::Load { ref ty, .. } => {
+                if !(self.avail(id, 0)
+                    && self.avail(id, 1)
+                    && self.avail(id, 2)
+                    && self.space_for(id, 0)
+                    && self.space_for(id, 1))
+                {
+                    return false;
+                }
+                let addr = self.pop_input(id, 0) as u64;
+                let pred = self.pop_input(id, 1);
+                self.pop_input(id, 2); // token
+                self.reserve(id, 0);
+                self.reserve(id, 1);
+                if pred == 0 {
+                    // Nullified: arbitrary value, instant token (§3.1) —
+                    // but never overtaking earlier in-flight results.
+                    self.emit_ordered(id, 0, 0, self.now);
+                    self.emit_ordered(id, 1, 1, self.now);
+                } else {
+                    self.lsq_queue.push_back(MemRequest {
+                        node: id,
+                        addr,
+                        value: 0,
+                        is_store: false,
+                    });
+                    let _ = ty;
+                }
+                true
+            }
+            NodeKind::Store { .. } => {
+                if !(self.avail(id, 0)
+                    && self.avail(id, 1)
+                    && self.avail(id, 2)
+                    && self.avail(id, 3)
+                    && self.space_for(id, 0))
+                {
+                    return false;
+                }
+                let addr = self.pop_input(id, 0) as u64;
+                let value = self.pop_input(id, 1);
+                let pred = self.pop_input(id, 2);
+                self.pop_input(id, 3); // token
+                self.reserve(id, 0);
+                if pred == 0 {
+                    self.emit_ordered(id, 0, 1, self.now);
+                } else {
+                    self.lsq_queue.push_back(MemRequest {
+                        node: id,
+                        addr,
+                        value,
+                        is_store: true,
+                    });
+                }
+                true
+            }
+            NodeKind::Return { has_value, .. } => {
+                let need = if has_value { 3 } else { 2 };
+                for p in 0..need {
+                    if !self.avail(id, p) {
+                        return false;
+                    }
+                }
+                let pred = self.pop_input(id, 0);
+                self.pop_input(id, 1);
+                let v = if has_value { Some(self.pop_input(id, 2)) } else { None };
+                if pred != 0 {
+                    self.result = Some((if has_value { v } else { None }, self.now));
+                }
+                true
+            }
+        }
+    }
+
+    fn fire_tokengen(&mut self, id: NodeId) -> bool {
+        let mut progressed = false;
+        // Absorb every available input in arrival order: predicates queue
+        // up for grants, returned tokens add credits.
+        loop {
+            let pred_seq = self.front_seq(id, 0);
+            let tok_seq = self.front_seq(id, 1);
+            let pick = match (pred_seq, tok_seq) {
+                (None, None) => break,
+                (Some(_), None) => 0u16,
+                (None, Some(_)) => 1u16,
+                (Some(a), Some(b)) => {
+                    if a < b {
+                        0
+                    } else {
+                        1
+                    }
+                }
+            };
+            if pick == 0 {
+                let p = self.pop_input(id, 0);
+                let st = self.tokengen.get_mut(&id).expect("tokengen state");
+                st.queue.push_back(p != 0);
+            } else {
+                self.pop_input(id, 1);
+                let st = self.tokengen.get_mut(&id).expect("tokengen state");
+                st.credits += 1;
+            }
+            progressed = true;
+        }
+        // Emit grants in order while credits (or free exit grants) allow
+        // and the consumers have space.
+        loop {
+            let st = self.tokengen.get_mut(&id).expect("tokengen state");
+            let Some(&needs_credit) = st.queue.front() else { break };
+            if needs_credit && st.credits == 0 {
+                break;
+            }
+            if !self.space_for(id, 0) {
+                break;
+            }
+            let st = self.tokengen.get_mut(&id).expect("tokengen state");
+            if needs_credit {
+                st.credits -= 1;
+            }
+            st.queue.pop_front();
+            self.emit_now(id, 0, 1);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Issues queued memory requests subject to ports and LSQ size.
+    fn lsq_issue(&mut self) {
+        let mut issued = 0;
+        while issued < self.config.lsq_ports
+            && self.lsq_in_flight < self.config.lsq_size
+            && !self.lsq_queue.is_empty()
+        {
+            let req = self.lsq_queue.pop_front().expect("nonempty queue");
+            let lat = self.machine.access_cycles(req.addr, req.is_store);
+            if req.is_store {
+                let ty = match self.g.kind(req.node) {
+                    NodeKind::Store { ty, .. } => ty.clone(),
+                    _ => unreachable!("store request from non-store"),
+                };
+                self.machine.store(req.addr, &ty, req.value);
+                // Token as soon as the store is ordered (§3.2: "the token
+                // can be generated before memory has been updated").
+                self.emit_ordered(req.node, 0, 1, self.now + 1);
+            } else {
+                let ty = match self.g.kind(req.node) {
+                    NodeKind::Load { ty, .. } => ty.clone(),
+                    _ => unreachable!("load request from non-load"),
+                };
+                let v = self.machine.load(req.addr, &ty);
+                // Value when the access completes; token once ordered.
+                self.emit_ordered(req.node, 0, v, self.now + lat);
+                self.emit_ordered(req.node, 1, 1, self.now + 1);
+            }
+            self.lsq_in_flight += 1;
+            self.push_event(self.now + lat, Ev::LsqRelease);
+            issued += 1;
+        }
+    }
+}
+
+fn sticky_of(sticky: &[Option<i64>], src: Src) -> Option<i64> {
+    if src.port == 0 {
+        sticky[src.node.index()]
+    } else {
+        None
+    }
+}
+
+fn alu_latency(op: BinOp) -> u64 {
+    match op {
+        BinOp::Mul => 3,
+        BinOp::Div | BinOp::Rem => 20,
+        _ => 1,
+    }
+}
+
+/// Normalization helper for tests.
+#[doc(hidden)]
+pub fn normalize(ty: &Type, v: i64) -> i64 {
+    ty.normalize(v)
+}

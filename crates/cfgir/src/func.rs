@@ -1,0 +1,471 @@
+//! Functions, basic blocks and three-address instructions.
+
+use crate::objects::{ObjId, ObjectSet};
+use crate::types::{BinOp, Type, UnOp};
+use std::fmt;
+
+/// A virtual register. Registers are function-local and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// Identifier of a basic block within its function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The function entry block.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// The block's index into [`Function::blocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A three-address instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `dst = value`
+    Const { dst: Reg, value: i64 },
+    /// `dst = src`
+    Copy { dst: Reg, src: Reg },
+    /// `dst = op a`
+    Un { dst: Reg, op: UnOp, a: Reg },
+    /// `dst = a op b`
+    Bin { dst: Reg, op: BinOp, a: Reg, b: Reg },
+    /// `dst = &object` — the base address of a memory object.
+    Addr { dst: Reg, obj: ObjId },
+    /// `dst = *(ty*)addr`, may touching `may`.
+    Load { dst: Reg, addr: Reg, ty: Type, may: ObjectSet },
+    /// `*(ty*)addr = value`, may touching `may`.
+    Store { addr: Reg, value: Reg, ty: Type, may: ObjectSet },
+    /// `dst = callee(args…)` — a memory barrier until inlined away.
+    Call { dst: Option<Reg>, callee: String, args: Vec<Reg> },
+}
+
+impl Instr {
+    /// The register this instruction defines, if any.
+    pub fn dst(&self) -> Option<Reg> {
+        match self {
+            Instr::Const { dst, .. }
+            | Instr::Copy { dst, .. }
+            | Instr::Un { dst, .. }
+            | Instr::Bin { dst, .. }
+            | Instr::Addr { dst, .. }
+            | Instr::Load { dst, .. } => Some(*dst),
+            Instr::Store { .. } => None,
+            Instr::Call { dst, .. } => *dst,
+        }
+    }
+
+    /// The registers this instruction reads.
+    pub fn uses(&self) -> Vec<Reg> {
+        match self {
+            Instr::Const { .. } | Instr::Addr { .. } => vec![],
+            Instr::Copy { src, .. } => vec![*src],
+            Instr::Un { a, .. } => vec![*a],
+            Instr::Bin { a, b, .. } => vec![*a, *b],
+            Instr::Load { addr, .. } => vec![*addr],
+            Instr::Store { addr, value, .. } => vec![*addr, *value],
+            Instr::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// Rewrites every used register through `f`.
+    pub fn map_uses(&mut self, f: &mut dyn FnMut(Reg) -> Reg) {
+        match self {
+            Instr::Const { .. } | Instr::Addr { .. } => {}
+            Instr::Copy { src, .. } => *src = f(*src),
+            Instr::Un { a, .. } => *a = f(*a),
+            Instr::Bin { a, b, .. } => {
+                *a = f(*a);
+                *b = f(*b);
+            }
+            Instr::Load { addr, .. } => *addr = f(*addr),
+            Instr::Store { addr, value, .. } => {
+                *addr = f(*addr);
+                *value = f(*value);
+            }
+            Instr::Call { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+
+    /// Does this instruction touch memory (or act as a barrier)?
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. } | Instr::Call { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Const { dst, value } => write!(f, "{dst} = {value}"),
+            Instr::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Instr::Un { dst, op, a } => write!(f, "{dst} = {op}{a}"),
+            Instr::Bin { dst, op, a, b } => write!(f, "{dst} = {a} {op} {b}"),
+            Instr::Addr { dst, obj } => write!(f, "{dst} = &{obj}"),
+            Instr::Load { dst, addr, ty, may } => {
+                write!(f, "{dst} = load.{ty} [{addr}] may{may}")
+            }
+            Instr::Store { addr, value, ty, may } => {
+                write!(f, "store.{ty} [{addr}] = {value} may{may}")
+            }
+            Instr::Call { dst: Some(d), callee, args } => {
+                write!(f, "{d} = call {callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+            Instr::Call { dst: None, callee, args } => {
+                write!(f, "call {callee}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a boolean register.
+    Branch { cond: Reg, then_bb: BlockId, else_bb: BlockId },
+    /// Function return.
+    Ret(Option<Reg>),
+}
+
+impl Terminator {
+    /// Successor block ids, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// Rewrites successor ids through `f`.
+    pub fn map_targets(&mut self, f: &mut dyn FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(b) => *b = f(*b),
+            Terminator::Branch { then_bb, else_bb, .. } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(b) => write!(f, "jump {b}"),
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                write!(f, "br {cond} ? {then_bb} : {else_bb}")
+            }
+            Terminator::Ret(Some(r)) => write!(f, "ret {r}"),
+            Terminator::Ret(None) => f.write_str("ret"),
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// This block's id (equal to its index in the function).
+    pub id: BlockId,
+    /// The instructions, in program order.
+    pub instrs: Vec<Instr>,
+    /// The block terminator.
+    pub term: Terminator,
+}
+
+/// A function: a register file and a CFG of basic blocks. Entry is block 0.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameter registers, in declaration order.
+    pub params: Vec<Reg>,
+    /// For each parameter: its pointee pseudo-object
+    /// ([`crate::ObjectKind::ParamPtr`]) when the parameter is a pointer.
+    pub param_objs: Vec<Option<ObjId>>,
+    /// Return type.
+    pub ret_ty: Type,
+    /// Type of each register, indexed by `Reg.0`.
+    pub reg_ty: Vec<Type>,
+    /// Optional source names for registers (diagnostics).
+    pub reg_name: Vec<Option<String>>,
+    /// The basic blocks; `blocks[i].id == BlockId(i)`.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Creates a function with a single empty entry block.
+    pub fn new(name: impl Into<String>, ret_ty: Type) -> Self {
+        Function {
+            name: name.into(),
+            params: Vec::new(),
+            param_objs: Vec::new(),
+            ret_ty,
+            reg_ty: Vec::new(),
+            reg_name: Vec::new(),
+            blocks: vec![Block {
+                id: BlockId::ENTRY,
+                instrs: Vec::new(),
+                term: Terminator::Ret(None),
+            }],
+        }
+    }
+
+    /// Allocates a fresh register of type `ty`.
+    pub fn new_reg(&mut self, ty: Type) -> Reg {
+        let r = Reg(self.reg_ty.len() as u32);
+        self.reg_ty.push(ty);
+        self.reg_name.push(None);
+        r
+    }
+
+    /// Allocates a fresh named register.
+    pub fn new_named_reg(&mut self, ty: Type, name: impl Into<String>) -> Reg {
+        let r = self.new_reg(ty);
+        self.reg_name[r.0 as usize] = Some(name.into());
+        r
+    }
+
+    /// Adds a parameter register.
+    pub fn add_param(&mut self, ty: Type, name: impl Into<String>) -> Reg {
+        let r = self.new_named_reg(ty, name);
+        self.params.push(r);
+        self.param_objs.push(None);
+        r
+    }
+
+    /// Adds a pointer parameter associated with a pointee pseudo-object.
+    pub fn add_ptr_param(&mut self, ty: Type, name: impl Into<String>, obj: ObjId) -> Reg {
+        let r = self.new_named_reg(ty, name);
+        self.params.push(r);
+        self.param_objs.push(Some(obj));
+        r
+    }
+
+    /// The type of a register.
+    pub fn ty(&self, r: Reg) -> &Type {
+        &self.reg_ty[r.0 as usize]
+    }
+
+    /// Appends a fresh empty block and returns its id.
+    pub fn add_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { id, instrs: Vec::new(), term: Terminator::Ret(None) });
+        id
+    }
+
+    /// Immutable access to a block.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable access to a block.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Predecessor lists for every block.
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in &self.blocks {
+            for s in b.term.successors() {
+                preds[s.index()].push(b.id);
+            }
+        }
+        preds
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// omitted.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut state = vec![0u8; self.blocks.len()]; // 0 unvisited, 1 open, 2 done
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+        state[0] = 1;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = self.block(b).term.successors();
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if state[s.index()] == 0 {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Counts static loads and stores (the Figure 18 static metric).
+    pub fn count_memory_ops(&self) -> (usize, usize) {
+        let mut loads = 0;
+        let mut stores = 0;
+        for b in &self.blocks {
+            for i in &b.instrs {
+                match i {
+                    Instr::Load { .. } => loads += 1,
+                    Instr::Store { .. } => stores += 1,
+                    _ => {}
+                }
+            }
+        }
+        (loads, stores)
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{p}: {}", self.ty(*p))?;
+        }
+        writeln!(f, ") -> {} {{", self.ret_ty)?;
+        for b in &self.blocks {
+            writeln!(f, "{}:", b.id)?;
+            for i in &b.instrs {
+                writeln!(f, "  {i}")?;
+            }
+            writeln!(f, "  {}", b.term)?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Function {
+        // bb0 -> bb1 / bb2 -> bb3
+        let mut f = Function::new("d", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.block_mut(BlockId::ENTRY).term =
+            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(b1).term = Terminator::Jump(b3);
+        f.block_mut(b2).term = Terminator::Jump(b3);
+        f.block_mut(b3).term = Terminator::Ret(None);
+        f
+    }
+
+    #[test]
+    fn predecessors_of_diamond() {
+        let f = diamond();
+        let preds = f.predecessors();
+        assert_eq!(preds[0], vec![]);
+        assert_eq!(preds[1], vec![BlockId(0)]);
+        assert_eq!(preds[2], vec![BlockId(0)]);
+        assert_eq!(preds[3], vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_ends_at_exit() {
+        let f = diamond();
+        let rpo = f.reverse_postorder();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo[3], BlockId(3));
+    }
+
+    #[test]
+    fn rpo_skips_unreachable() {
+        let mut f = diamond();
+        let dead = f.add_block();
+        f.block_mut(dead).term = Terminator::Ret(None);
+        let rpo = f.reverse_postorder();
+        assert!(!rpo.contains(&dead));
+    }
+
+    #[test]
+    fn instr_defs_and_uses() {
+        let i = Instr::Bin { dst: Reg(2), op: BinOp::Add, a: Reg(0), b: Reg(1) };
+        assert_eq!(i.dst(), Some(Reg(2)));
+        assert_eq!(i.uses(), vec![Reg(0), Reg(1)]);
+        let s = Instr::Store {
+            addr: Reg(0),
+            value: Reg(1),
+            ty: Type::int(32),
+            may: ObjectSet::Top,
+        };
+        assert_eq!(s.dst(), None);
+        assert!(s.is_memory());
+    }
+
+    #[test]
+    fn map_uses_rewrites() {
+        let mut i = Instr::Bin { dst: Reg(2), op: BinOp::Add, a: Reg(0), b: Reg(1) };
+        i.map_uses(&mut |r| Reg(r.0 + 10));
+        assert_eq!(i.uses(), vec![Reg(10), Reg(11)]);
+    }
+
+    #[test]
+    fn memory_op_counting() {
+        let mut f = Function::new("m", Type::Void);
+        let a = f.new_reg(Type::ptr(Type::int(32)));
+        let v = f.new_reg(Type::int(32));
+        f.block_mut(BlockId::ENTRY).instrs.push(Instr::Load {
+            dst: v,
+            addr: a,
+            ty: Type::int(32),
+            may: ObjectSet::Top,
+        });
+        f.block_mut(BlockId::ENTRY).instrs.push(Instr::Store {
+            addr: a,
+            value: v,
+            ty: Type::int(32),
+            may: ObjectSet::Top,
+        });
+        assert_eq!(f.count_memory_ops(), (1, 1));
+    }
+}

@@ -1,0 +1,261 @@
+//! Hyperblock formation (§3.1).
+//!
+//! CASH collects multiple basic blocks into *hyperblocks*: single-entry,
+//! acyclic regions that are then converted to straight-line predicated code.
+//! The partition here is the static heuristic the paper describes (no
+//! profiling): starting from the entry block, a block joins the hyperblock of
+//! its predecessors when
+//!
+//! - all of its predecessors are already in that same hyperblock (keeps the
+//!   region single-entry),
+//! - it is not a loop header (keeps the region acyclic — back edges always
+//!   target headers), and
+//! - it belongs to the same innermost loop as the hyperblock's seed (loop
+//!   boundaries become hyperblock boundaries, so merge/eta nodes implement
+//!   the loop).
+//!
+//! Every other block seeds a new hyperblock.
+
+use crate::dom::DomTree;
+use crate::func::{BlockId, Function};
+use crate::loops::LoopForest;
+use std::fmt;
+
+/// Identifier of a hyperblock within a [`Hyperblocks`] partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HyperblockId(pub u32);
+
+impl HyperblockId {
+    /// Index into [`Hyperblocks::blocks_of`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for HyperblockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hb{}", self.0)
+    }
+}
+
+/// A partition of a function's reachable blocks into hyperblocks.
+#[derive(Debug, Clone)]
+pub struct Hyperblocks {
+    /// Blocks of each hyperblock, in reverse postorder (the seed first).
+    members: Vec<Vec<BlockId>>,
+    /// Hyperblock of each block (`None` if unreachable).
+    assignment: Vec<Option<HyperblockId>>,
+    /// Is the hyperblock's seed a loop header?
+    is_loop: Vec<bool>,
+}
+
+impl Hyperblocks {
+    /// Partitions `f` into hyperblocks.
+    pub fn build(f: &Function, dom: &DomTree, loops: &LoopForest) -> Self {
+        let rpo = f.reverse_postorder();
+        let preds = f.predecessors();
+        let mut assignment: Vec<Option<HyperblockId>> = vec![None; f.num_blocks()];
+        let mut members: Vec<Vec<BlockId>> = Vec::new();
+        let mut is_loop: Vec<bool> = Vec::new();
+        let mut seed_loop: Vec<Option<usize>> = Vec::new(); // innermost loop idx of seed
+
+        for &b in &rpo {
+            let header = loops.is_header(b);
+            let b_loop = loops.innermost[b.index()];
+            let mut target: Option<HyperblockId> = None;
+            if !header && b != BlockId::ENTRY {
+                // All predecessors in one hyperblock, same innermost loop as
+                // that hyperblock's seed?
+                let mut hb: Option<HyperblockId> = None;
+                let mut ok = true;
+                for &p in &preds[b.index()] {
+                    match assignment[p.index()] {
+                        Some(h) => match hb {
+                            None => hb = Some(h),
+                            Some(prev) if prev == h => {}
+                            Some(_) => {
+                                ok = false;
+                                break;
+                            }
+                        },
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    if let Some(h) = hb {
+                        if seed_loop[h.index()] == b_loop {
+                            target = Some(h);
+                        }
+                    }
+                }
+            }
+            match target {
+                Some(h) => {
+                    members[h.index()].push(b);
+                    assignment[b.index()] = Some(h);
+                }
+                None => {
+                    let h = HyperblockId(members.len() as u32);
+                    members.push(vec![b]);
+                    is_loop.push(header);
+                    seed_loop.push(b_loop);
+                    assignment[b.index()] = Some(h);
+                }
+            }
+        }
+        let _ = dom; // the partition is derivable without it today; kept in the
+                     // signature because callers already have one and future
+                     // heuristics (e.g. tail duplication) will need it.
+        Hyperblocks { members, assignment, is_loop }
+    }
+
+    /// Number of hyperblocks.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Is the partition empty (function with no reachable blocks)?
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The hyperblock containing `b` (`None` for unreachable blocks).
+    pub fn hb_of(&self, b: BlockId) -> Option<HyperblockId> {
+        self.assignment[b.index()]
+    }
+
+    /// The blocks of hyperblock `h`, seed first, in reverse postorder.
+    pub fn blocks_of(&self, h: HyperblockId) -> &[BlockId] {
+        &self.members[h.index()]
+    }
+
+    /// The seed (entry block) of hyperblock `h`.
+    pub fn seed(&self, h: HyperblockId) -> BlockId {
+        self.members[h.index()][0]
+    }
+
+    /// Is hyperblock `h` the body of a loop (its seed is a loop header)?
+    pub fn is_loop_hb(&self, h: HyperblockId) -> bool {
+        self.is_loop[h.index()]
+    }
+
+    /// Iterates over hyperblock ids in construction (topological) order.
+    pub fn iter(&self) -> impl Iterator<Item = HyperblockId> + '_ {
+        (0..self.members.len() as u32).map(HyperblockId)
+    }
+
+    /// Successor hyperblocks of `h` with the CFG edges that cross the
+    /// boundary, as `(from_block, to_block, to_hb)` triples.
+    pub fn out_edges(&self, f: &Function, h: HyperblockId) -> Vec<(BlockId, BlockId, HyperblockId)> {
+        let mut out = Vec::new();
+        for &b in self.blocks_of(h) {
+            for s in f.block(b).term.successors() {
+                if let Some(sh) = self.hb_of(s) {
+                    if sh != h || s == self.seed(h) {
+                        out.push((b, s, sh));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{Function, Terminator};
+    use crate::types::Type;
+
+    fn analyze(f: &Function) -> Hyperblocks {
+        let dom = DomTree::build(f);
+        let loops = LoopForest::build(f, &dom);
+        Hyperblocks::build(f, &dom, &loops)
+    }
+
+    /// if/else diamond collapses into one hyperblock.
+    #[test]
+    fn diamond_is_one_hyperblock() {
+        let mut f = Function::new("d", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.block_mut(BlockId::ENTRY).term =
+            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(b1).term = Terminator::Jump(b3);
+        f.block_mut(b2).term = Terminator::Jump(b3);
+        let hbs = analyze(&f);
+        assert_eq!(hbs.len(), 1);
+        assert_eq!(hbs.blocks_of(HyperblockId(0)).len(), 4);
+        assert_eq!(hbs.seed(HyperblockId(0)), BlockId::ENTRY);
+        assert!(!hbs.is_loop_hb(HyperblockId(0)));
+    }
+
+    /// A while loop splits into preheader / body / exit hyperblocks, the
+    /// Figure 2 structure (3 hyperblocks).
+    #[test]
+    fn while_loop_is_three_hyperblocks() {
+        let mut f = Function::new("w", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let h = f.add_block(); // header+body hyperblock
+        let body = f.add_block();
+        let exit = f.add_block();
+        f.block_mut(BlockId::ENTRY).term = Terminator::Jump(h);
+        f.block_mut(h).term = Terminator::Branch { cond: c, then_bb: body, else_bb: exit };
+        f.block_mut(body).term = Terminator::Jump(h);
+        let hbs = analyze(&f);
+        assert_eq!(hbs.len(), 3);
+        let hb_entry = hbs.hb_of(BlockId::ENTRY).unwrap();
+        let hb_loop = hbs.hb_of(h).unwrap();
+        let hb_exit = hbs.hb_of(exit).unwrap();
+        assert_ne!(hb_entry, hb_loop);
+        assert_ne!(hb_loop, hb_exit);
+        // Loop body joins the header's hyperblock.
+        assert_eq!(hbs.hb_of(body), Some(hb_loop));
+        assert!(hbs.is_loop_hb(hb_loop));
+        assert!(!hbs.is_loop_hb(hb_exit));
+    }
+
+    #[test]
+    fn loop_hyperblock_has_self_edge() {
+        let mut f = Function::new("w", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let h = f.add_block();
+        let exit = f.add_block();
+        f.block_mut(BlockId::ENTRY).term = Terminator::Jump(h);
+        f.block_mut(h).term = Terminator::Branch { cond: c, then_bb: h, else_bb: exit };
+        let hbs = analyze(&f);
+        let hb_loop = hbs.hb_of(h).unwrap();
+        let edges = hbs.out_edges(&f, hb_loop);
+        // One back edge to itself, one exit edge.
+        assert!(edges.iter().any(|&(_, to, toh)| toh == hb_loop && to == h));
+        assert!(edges.iter().any(|&(_, _, toh)| toh != hb_loop));
+    }
+
+    /// Code after a loop that joins paths from before and inside the loop
+    /// must start its own hyperblock (multiple-predecessor hyperblocks).
+    #[test]
+    fn join_after_branchy_regions_seeds_new_hb() {
+        // entry -> a | b ; a -> join ; b -> loop -> loop|join
+        let mut f = Function::new("j", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let a = f.add_block();
+        let b = f.add_block();
+        let l = f.add_block();
+        let join = f.add_block();
+        f.block_mut(BlockId::ENTRY).term =
+            Terminator::Branch { cond: c, then_bb: a, else_bb: b };
+        f.block_mut(a).term = Terminator::Jump(join);
+        f.block_mut(b).term = Terminator::Jump(l);
+        f.block_mut(l).term = Terminator::Branch { cond: c, then_bb: l, else_bb: join };
+        f.block_mut(join).term = Terminator::Ret(None);
+        let hbs = analyze(&f);
+        let hj = hbs.hb_of(join).unwrap();
+        // join has preds in two different hyperblocks, so it is its own seed.
+        assert_eq!(hbs.seed(hj), join);
+    }
+}

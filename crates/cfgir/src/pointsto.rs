@@ -1,0 +1,214 @@
+//! Flow-insensitive intraprocedural points-to analysis.
+//!
+//! Computes, for every register, the set of memory objects its value may
+//! point into, then rewrites the `may` read/write set of each load and store
+//! from the points-to set of its address register. This is the simple
+//! "connection"-style analysis the paper uses to seed read/write sets (§3.3)
+//! and to propagate `#pragma independent` facts through pointer expressions
+//! (§7.1).
+//!
+//! The analysis is a union fixpoint:
+//!
+//! - `&object` points to that object;
+//! - a pointer parameter points to its ParamPtr pseudo-object;
+//! - copies and arithmetic propagate sets;
+//! - a pointer loaded from memory may point anywhere (`Top`).
+//!
+//! Run once per function after lowering, and again after inlining — the
+//! parameter-binding copies introduced by the inliner then flow actual
+//! argument sets into what used to be parameter uses, sharpening the sets.
+
+use crate::func::{Function, Instr, Reg};
+use crate::objects::ObjectSet;
+
+/// Recomputes the `may` sets of all loads and stores in `f` and returns the
+/// per-register points-to table (indexed by register number).
+pub fn recompute_may_sets(f: &mut Function) -> Vec<ObjectSet> {
+    let n = f.reg_ty.len();
+    let mut pts: Vec<ObjectSet> = vec![ObjectSet::empty(); n];
+    // Seed pointer parameters.
+    for (i, &p) in f.params.iter().enumerate() {
+        if let Some(obj) = f.param_objs[i] {
+            pts[p.0 as usize] = ObjectSet::only(obj);
+        } else if f.ty(p).is_ptr() {
+            pts[p.0 as usize] = ObjectSet::Top;
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in &f.blocks {
+            for ins in &b.instrs {
+                let update = |pts: &mut Vec<ObjectSet>, dst: Reg, add: ObjectSet| -> bool {
+                    let cur = &pts[dst.0 as usize];
+                    let new = cur.union(&add);
+                    if &new != cur {
+                        pts[dst.0 as usize] = new;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                match ins {
+                    Instr::Addr { dst, obj } => {
+                        changed |= update(&mut pts, *dst, ObjectSet::only(*obj));
+                    }
+                    Instr::Copy { dst, src } => {
+                        let s = pts[src.0 as usize].clone();
+                        changed |= update(&mut pts, *dst, s);
+                    }
+                    Instr::Un { dst, a, .. } => {
+                        let s = pts[a.0 as usize].clone();
+                        changed |= update(&mut pts, *dst, s);
+                    }
+                    Instr::Bin { dst, a, b, .. } => {
+                        let s = pts[a.0 as usize].union(&pts[b.0 as usize]);
+                        changed |= update(&mut pts, *dst, s);
+                    }
+                    Instr::Load { dst, .. } => {
+                        if f.reg_ty[dst.0 as usize].is_ptr() {
+                            changed |= update(&mut pts, *dst, ObjectSet::Top);
+                        }
+                    }
+                    Instr::Call { dst: Some(d), .. } => {
+                        if f.reg_ty[d.0 as usize].is_ptr() {
+                            changed |= update(&mut pts, *d, ObjectSet::Top);
+                        }
+                    }
+                    Instr::Const { .. } | Instr::Store { .. } | Instr::Call { dst: None, .. } => {}
+                }
+            }
+        }
+    }
+    // Rewrite may sets: an address with an empty points-to set is a
+    // manufactured pointer (e.g. a literal address) — be conservative.
+    for b in &mut f.blocks {
+        for ins in &mut b.instrs {
+            match ins {
+                Instr::Load { addr, may, .. } | Instr::Store { addr, may, .. } => {
+                    let s = &pts[addr.0 as usize];
+                    *may = if s.is_empty() { ObjectSet::Top } else { s.clone() };
+                }
+                _ => {}
+            }
+        }
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{BlockId, Terminator};
+    use crate::objects::{MemObject, ObjId};
+    use crate::types::{BinOp, Type};
+    use crate::Module;
+
+    #[test]
+    fn addr_plus_offset_keeps_object() {
+        let mut m = Module::new();
+        let oa = m.add_object(MemObject::global("a", Type::int(32), 8));
+        let mut f = Function::new("t", Type::Void);
+        let base = f.new_reg(Type::ptr(Type::int(32)));
+        let off = f.new_reg(Type::int(64));
+        let addr = f.new_reg(Type::ptr(Type::int(32)));
+        let v = f.new_reg(Type::int(32));
+        let e = BlockId::ENTRY;
+        f.block_mut(e).instrs.push(Instr::Addr { dst: base, obj: oa });
+        f.block_mut(e).instrs.push(Instr::Const { dst: off, value: 4 });
+        f.block_mut(e).instrs.push(Instr::Bin { dst: addr, op: BinOp::Add, a: base, b: off });
+        f.block_mut(e).instrs.push(Instr::Load {
+            dst: v,
+            addr,
+            ty: Type::int(32),
+            may: ObjectSet::Top,
+        });
+        recompute_may_sets(&mut f);
+        match &f.block(e).instrs[3] {
+            Instr::Load { may, .. } => assert_eq!(may, &ObjectSet::only(oa)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn loaded_pointer_goes_top() {
+        let mut f = Function::new("t", Type::Void);
+        let p = f.new_reg(Type::ptr(Type::ptr(Type::int(32))));
+        let q = f.new_reg(Type::ptr(Type::int(32)));
+        let v = f.new_reg(Type::int(32));
+        let e = BlockId::ENTRY;
+        f.block_mut(e).instrs.push(Instr::Load {
+            dst: q,
+            addr: p,
+            ty: Type::ptr(Type::int(32)),
+            may: ObjectSet::Top,
+        });
+        f.block_mut(e).instrs.push(Instr::Load {
+            dst: v,
+            addr: q,
+            ty: Type::int(32),
+            may: ObjectSet::empty(),
+        });
+        recompute_may_sets(&mut f);
+        match &f.block(e).instrs[1] {
+            Instr::Load { may, .. } => assert!(may.is_top()),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn param_seeded_with_pseudo_object() {
+        let mut m = Module::new();
+        let pp = m.add_object(MemObject::param_ptr("t", "p", Type::int(32)));
+        let mut f = Function::new("t", Type::Void);
+        let p = f.add_ptr_param(Type::ptr(Type::int(32)), "p", pp);
+        let v = f.new_reg(Type::int(32));
+        let e = BlockId::ENTRY;
+        f.block_mut(e).instrs.push(Instr::Load {
+            dst: v,
+            addr: p,
+            ty: Type::int(32),
+            may: ObjectSet::Top,
+        });
+        recompute_may_sets(&mut f);
+        match &f.block(e).instrs[0] {
+            Instr::Load { may, .. } => assert_eq!(may, &ObjectSet::only(pp)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn copy_chain_through_branches_unions() {
+        // r = &a or r = &b depending on a branch; load via r may touch both.
+        let mut m = Module::new();
+        let oa = m.add_object(MemObject::global("a", Type::int(32), 4));
+        let ob = m.add_object(MemObject::global("b", Type::int(32), 4));
+        let mut f = Function::new("t", Type::Void);
+        let c = f.new_reg(Type::Bool);
+        let r = f.new_reg(Type::ptr(Type::int(32)));
+        let v = f.new_reg(Type::int(32));
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        f.block_mut(BlockId::ENTRY).term =
+            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(b1).instrs.push(Instr::Addr { dst: r, obj: oa });
+        f.block_mut(b1).term = Terminator::Jump(b3);
+        f.block_mut(b2).instrs.push(Instr::Addr { dst: r, obj: ob });
+        f.block_mut(b2).term = Terminator::Jump(b3);
+        f.block_mut(b3).instrs.push(Instr::Load {
+            dst: v,
+            addr: r,
+            ty: Type::int(32),
+            may: ObjectSet::empty(),
+        });
+        recompute_may_sets(&mut f);
+        match &f.block(b3).instrs[0] {
+            Instr::Load { may, .. } => {
+                assert_eq!(may, &ObjectSet::from_ids([oa, ob]));
+            }
+            _ => unreachable!(),
+        }
+        let _ = ObjId(0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Scalar types and operators shared across the compiler.
+
+use std::fmt;
+
+/// A value type: sized integers (signed or unsigned), pointers, or void.
+///
+/// Arrays do not appear as value types — array-typed expressions decay to
+/// pointers during lowering, exactly as in C. The pointee type of a pointer
+/// is tracked so address arithmetic can scale indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// An integer with the given bit width (8, 16, 32 or 64) and signedness.
+    Int { bits: u8, signed: bool },
+    /// A pointer to a value of the given type.
+    Ptr(Box<Type>),
+    /// The absence of a value (function returns only).
+    Void,
+    /// A boolean (predicate) value; produced by comparisons.
+    Bool,
+}
+
+impl Type {
+    /// Signed integer of the given bit width.
+    pub fn int(bits: u8) -> Type {
+        Type::Int { bits, signed: true }
+    }
+
+    /// Unsigned integer of the given bit width.
+    pub fn uint(bits: u8) -> Type {
+        Type::Int { bits, signed: false }
+    }
+
+    /// Pointer to `t`.
+    pub fn ptr(t: Type) -> Type {
+        Type::Ptr(Box::new(t))
+    }
+
+    /// Size of a value of this type in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Type::Void`], which has no size.
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Type::Int { bits, .. } => u64::from(*bits) / 8,
+            Type::Ptr(_) => 8,
+            Type::Bool => 1,
+            Type::Void => panic!("void has no size"),
+        }
+    }
+
+    /// Is this an integer type?
+    pub fn is_int(&self) -> bool {
+        matches!(self, Type::Int { .. })
+    }
+
+    /// Is this a pointer type?
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Is this type signed (false for unsigned ints, pointers, bool)?
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Type::Int { signed: true, .. })
+    }
+
+    /// The pointee type, if this is a pointer.
+    pub fn pointee(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Truncates/sign-extends `v` to this type's width and signedness,
+    /// defining the wrap-around semantics of the simulated machine.
+    pub fn normalize(&self, v: i64) -> i64 {
+        match self {
+            Type::Int { bits: 64, .. } | Type::Ptr(_) => v,
+            Type::Int { bits, signed: true } => {
+                let shift = 64 - u32::from(*bits);
+                (v << shift) >> shift
+            }
+            Type::Int { bits, signed: false } => {
+                let mask = if *bits == 64 { !0u64 } else { (1u64 << bits) - 1 };
+                (v as u64 & mask) as i64
+            }
+            Type::Bool => i64::from(v != 0),
+            Type::Void => 0,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int { bits, signed: true } => write!(f, "i{bits}"),
+            Type::Int { bits, signed: false } => write!(f, "u{bits}"),
+            Type::Ptr(t) => write!(f, "{t}*"),
+            Type::Void => write!(f, "void"),
+            Type::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// Binary operators. Comparison operators produce [`Type::Bool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Logical and of two booleans (non-short-circuit; short-circuiting is
+    /// lowered to control flow by the frontend when needed).
+    LAnd,
+    /// Logical or of two booleans.
+    LOr,
+}
+
+impl BinOp {
+    /// Does this operator yield a boolean?
+    pub fn is_comparison(self) -> bool {
+        use BinOp::*;
+        matches!(self, Eq | Ne | Lt | Le | Gt | Ge | LAnd | LOr)
+    }
+
+    /// Is this operator commutative?
+    pub fn is_commutative(self) -> bool {
+        use BinOp::*;
+        matches!(self, Add | Mul | And | Or | Xor | Eq | Ne | LAnd | LOr)
+    }
+
+    /// Evaluates the operator on two values already normalized to `ty`.
+    /// Division by zero yields 0 (the simulated machine traps nothing).
+    pub fn eval(self, ty: &Type, a: i64, b: i64) -> i64 {
+        use BinOp::*;
+        let signed = ty.is_signed();
+        let r = match self {
+            Add => a.wrapping_add(b),
+            Sub => a.wrapping_sub(b),
+            Mul => a.wrapping_mul(b),
+            Div => {
+                if b == 0 {
+                    0
+                } else if signed {
+                    a.wrapping_div(b)
+                } else {
+                    ((a as u64).wrapping_div(b as u64)) as i64
+                }
+            }
+            Rem => {
+                if b == 0 {
+                    0
+                } else if signed {
+                    a.wrapping_rem(b)
+                } else {
+                    ((a as u64).wrapping_rem(b as u64)) as i64
+                }
+            }
+            And => a & b,
+            Or => a | b,
+            Xor => a ^ b,
+            Shl => a.wrapping_shl(b as u32 & 63),
+            Shr => {
+                if signed {
+                    a.wrapping_shr(b as u32 & 63)
+                } else {
+                    ((a as u64).wrapping_shr(b as u32 & 63)) as i64
+                }
+            }
+            Eq => return i64::from(a == b),
+            Ne => return i64::from(a != b),
+            Lt => {
+                return i64::from(if signed { a < b } else { (a as u64) < b as u64 });
+            }
+            Le => {
+                return i64::from(if signed { a <= b } else { (a as u64) <= b as u64 });
+            }
+            Gt => {
+                return i64::from(if signed { a > b } else { (a as u64) > b as u64 });
+            }
+            Ge => {
+                return i64::from(if signed { a >= b } else { (a as u64) >= b as u64 });
+            }
+            LAnd => return i64::from(a != 0 && b != 0),
+            LOr => return i64::from(a != 0 || b != 0),
+        };
+        ty.normalize(r)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use BinOp::*;
+        let s = match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            And => "&",
+            Or => "|",
+            Xor => "^",
+            Shl => "<<",
+            Shr => ">>",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            LAnd => "&&",
+            LOr => "||",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise complement.
+    BitNot,
+    /// Logical not (yields bool).
+    Not,
+}
+
+impl UnOp {
+    /// Evaluates the operator on a value already normalized to `ty`.
+    pub fn eval(self, ty: &Type, a: i64) -> i64 {
+        match self {
+            UnOp::Neg => ty.normalize(a.wrapping_neg()),
+            UnOp::BitNot => ty.normalize(!a),
+            UnOp::Not => i64::from(a == 0),
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::BitNot => "~",
+            UnOp::Not => "!",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Type::int(32).size_bytes(), 4);
+        assert_eq!(Type::uint(8).size_bytes(), 1);
+        assert_eq!(Type::ptr(Type::int(16)).size_bytes(), 8);
+    }
+
+    #[test]
+    fn normalize_signed_wraps() {
+        let t = Type::int(8);
+        assert_eq!(t.normalize(127), 127);
+        assert_eq!(t.normalize(128), -128);
+        assert_eq!(t.normalize(-129), 127);
+    }
+
+    #[test]
+    fn normalize_unsigned_masks() {
+        let t = Type::uint(8);
+        assert_eq!(t.normalize(256), 0);
+        assert_eq!(t.normalize(-1), 255);
+    }
+
+    #[test]
+    fn unsigned_comparison_differs_from_signed() {
+        let s = Type::int(32);
+        let u = Type::uint(32);
+        let a = s.normalize(-1);
+        assert_eq!(BinOp::Lt.eval(&s, a, 0), 1);
+        let a = u.normalize(-1); // 0xFFFFFFFF
+        assert_eq!(BinOp::Lt.eval(&u, a, 0), 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let t = Type::int(32);
+        assert_eq!(BinOp::Div.eval(&t, 5, 0), 0);
+        assert_eq!(BinOp::Rem.eval(&t, 5, 0), 0);
+    }
+
+    #[test]
+    fn shift_masks_count() {
+        let t = Type::uint(32);
+        assert_eq!(BinOp::Shl.eval(&t, 1, 4), 16);
+        // Unsigned right shift does not smear the sign bit.
+        let v = t.normalize(-16);
+        assert!(BinOp::Shr.eval(&t, v, 1) > 0);
+    }
+
+    #[test]
+    fn unops() {
+        let t = Type::int(32);
+        assert_eq!(UnOp::Neg.eval(&t, 5), -5);
+        assert_eq!(UnOp::BitNot.eval(&t, 0), -1);
+        assert_eq!(UnOp::Not.eval(&t, 0), 1);
+        assert_eq!(UnOp::Not.eval(&t, 7), 0);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Type::int(32).to_string(), "i32");
+        assert_eq!(Type::ptr(Type::uint(8)).to_string(), "u8*");
+        assert_eq!(BinOp::Shl.to_string(), "<<");
+        assert_eq!(UnOp::BitNot.to_string(), "~");
+    }
+}

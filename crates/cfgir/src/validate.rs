@@ -1,0 +1,163 @@
+//! Structural validation of CFG functions.
+
+use crate::func::{BlockId, Function, Instr, Terminator};
+use crate::types::Type;
+use std::fmt;
+
+/// A structural defect found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// `blocks[i].id != i`.
+    MisnumberedBlock { index: usize },
+    /// A terminator targets a block id out of range.
+    BadTarget { block: BlockId, target: BlockId },
+    /// An instruction names a register that was never allocated.
+    BadRegister { block: BlockId, instr: usize },
+    /// A branch condition is not boolean.
+    NonBoolCondition { block: BlockId },
+    /// A load or store address operand is not pointer- or integer-typed.
+    BadAddress { block: BlockId, instr: usize },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::MisnumberedBlock { index } => {
+                write!(f, "block at index {index} has a mismatched id")
+            }
+            ValidateError::BadTarget { block, target } => {
+                write!(f, "{block} jumps to nonexistent {target}")
+            }
+            ValidateError::BadRegister { block, instr } => {
+                write!(f, "{block} instruction {instr} uses an unallocated register")
+            }
+            ValidateError::NonBoolCondition { block } => {
+                write!(f, "{block} branches on a non-boolean register")
+            }
+            ValidateError::BadAddress { block, instr } => {
+                write!(f, "{block} instruction {instr} has a non-address operand")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks the structural invariants of `f`.
+///
+/// # Errors
+///
+/// Returns the first defect found, if any.
+pub fn validate(f: &Function) -> Result<(), ValidateError> {
+    let nregs = f.reg_ty.len() as u32;
+    let nblocks = f.blocks.len() as u32;
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.id.0 as usize != i {
+            return Err(ValidateError::MisnumberedBlock { index: i });
+        }
+        for (j, ins) in b.instrs.iter().enumerate() {
+            for r in ins.uses().iter().chain(ins.dst().iter()) {
+                if r.0 >= nregs {
+                    return Err(ValidateError::BadRegister { block: b.id, instr: j });
+                }
+            }
+            match ins {
+                Instr::Load { addr, .. } | Instr::Store { addr, .. } => {
+                    let t = f.ty(*addr);
+                    if !t.is_ptr() && !t.is_int() {
+                        return Err(ValidateError::BadAddress { block: b.id, instr: j });
+                    }
+                }
+                _ => {}
+            }
+        }
+        match &b.term {
+            Terminator::Jump(t) => {
+                if t.0 >= nblocks {
+                    return Err(ValidateError::BadTarget { block: b.id, target: *t });
+                }
+            }
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                if cond.0 >= nregs {
+                    return Err(ValidateError::BadRegister {
+                        block: b.id,
+                        instr: b.instrs.len(),
+                    });
+                }
+                if f.ty(*cond) != &Type::Bool {
+                    return Err(ValidateError::NonBoolCondition { block: b.id });
+                }
+                for t in [then_bb, else_bb] {
+                    if t.0 >= nblocks {
+                        return Err(ValidateError::BadTarget { block: b.id, target: *t });
+                    }
+                }
+            }
+            Terminator::Ret(Some(r)) => {
+                if r.0 >= nregs {
+                    return Err(ValidateError::BadRegister {
+                        block: b.id,
+                        instr: b.instrs.len(),
+                    });
+                }
+            }
+            Terminator::Ret(None) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Reg;
+    use crate::objects::ObjectSet;
+
+    #[test]
+    fn valid_function_passes() {
+        let mut f = Function::new("ok", Type::Void);
+        let r = f.new_reg(Type::int(32));
+        f.block_mut(BlockId::ENTRY).instrs.push(Instr::Const { dst: r, value: 1 });
+        assert_eq!(validate(&f), Ok(()));
+    }
+
+    #[test]
+    fn detects_bad_jump_target() {
+        let mut f = Function::new("bad", Type::Void);
+        f.block_mut(BlockId::ENTRY).term = Terminator::Jump(BlockId(7));
+        assert!(matches!(validate(&f), Err(ValidateError::BadTarget { .. })));
+    }
+
+    #[test]
+    fn detects_unallocated_register() {
+        let mut f = Function::new("bad", Type::Void);
+        f.block_mut(BlockId::ENTRY)
+            .instrs
+            .push(Instr::Copy { dst: Reg(5), src: Reg(6) });
+        assert!(matches!(validate(&f), Err(ValidateError::BadRegister { .. })));
+    }
+
+    #[test]
+    fn detects_non_bool_branch() {
+        let mut f = Function::new("bad", Type::Void);
+        let r = f.new_reg(Type::int(32));
+        let t = f.add_block();
+        f.block_mut(BlockId::ENTRY).term =
+            Terminator::Branch { cond: r, then_bb: t, else_bb: t };
+        assert!(matches!(validate(&f), Err(ValidateError::NonBoolCondition { .. })));
+    }
+
+    #[test]
+    fn detects_non_address_load() {
+        let mut f = Function::new("bad", Type::Void);
+        let b = f.new_reg(Type::Bool);
+        let d = f.new_reg(Type::int(32));
+        f.block_mut(BlockId::ENTRY).instrs.push(Instr::Load {
+            dst: d,
+            addr: b,
+            ty: Type::int(32),
+            may: ObjectSet::Top,
+        });
+        assert!(matches!(validate(&f), Err(ValidateError::BadAddress { .. })));
+    }
+}

@@ -1,0 +1,21 @@
+use cash::{CacheParams, Compiler, MemSystem, SimConfig};
+
+#[test]
+fn hierarchy_is_slower_than_perfect() {
+    let src = "
+        int a[4096];
+        int main(int n) {
+            int acc = 0;
+            for (int i = 0; i < n; i++) acc += a[i * 16];
+            return acc;
+        }";
+    let p = Compiler::new().compile(src).unwrap();
+    let perfect = p.simulate(&[64], &SimConfig::perfect()).unwrap();
+    let real = p
+        .simulate(&[64], &SimConfig { mem: MemSystem::default(), ..SimConfig::default() })
+        .unwrap();
+    println!("perfect {} real {} l1miss {}", perfect.cycles, real.cycles, real.stats.l1_misses);
+    assert!(real.stats.l1_misses > 0);
+    assert!(real.cycles > perfect.cycles, "real {} vs perfect {}", real.cycles, perfect.cycles);
+    let _ = CacheParams::default();
+}

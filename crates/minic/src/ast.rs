@@ -1,0 +1,189 @@
+//! Abstract syntax tree for MiniC.
+
+/// A source-level type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// Integer with bit width and signedness.
+    Int { bits: u8, signed: bool },
+    /// Pointer to another type.
+    Ptr(Box<Ty>),
+    /// Void (function returns only).
+    Void,
+}
+
+impl Ty {
+    /// `int`
+    pub fn int() -> Ty {
+        Ty::Int { bits: 32, signed: true }
+    }
+
+    /// Wraps in a pointer.
+    pub fn ptr(self) -> Ty {
+        Ty::Ptr(Box::new(self))
+    }
+}
+
+/// Binary operators at the AST level (excluding assignments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bin {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    LAnd,
+    LOr,
+}
+
+/// Unary operators at the AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Un {
+    /// `-e`
+    Neg,
+    /// `~e`
+    BitNot,
+    /// `!e`
+    Not,
+    /// `*e`
+    Deref,
+    /// `&e`
+    AddrOf,
+}
+
+/// An expression, annotated with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+/// Expression shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Variable reference.
+    Ident(String),
+    /// Unary operation.
+    Un(Un, Box<Expr>),
+    /// Binary operation.
+    Bin(Bin, Box<Expr>, Box<Expr>),
+    /// Assignment; `op` is `Some` for compound assignments like `+=`.
+    Assign { op: Option<Bin>, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `c ? t : e`
+    Cond { c: Box<Expr>, t: Box<Expr>, e: Box<Expr> },
+    /// `base[idx]`
+    Index { base: Box<Expr>, idx: Box<Expr> },
+    /// Function call.
+    Call { name: String, args: Vec<Expr> },
+    /// `++x`, `x++`, `--x`, `x--`
+    IncDec { pre: bool, inc: bool, target: Box<Expr> },
+}
+
+/// A local declaration item: `int x = e;` or `int a[N];`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalDecl {
+    pub name: String,
+    pub ty: Ty,
+    /// `Some(n)` declares an array of n elements.
+    pub array_len: Option<u64>,
+    /// Scalar initializer.
+    pub init: Option<Expr>,
+    pub line: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Decl(Vec<LocalDecl>),
+    Expr(Expr),
+    If { c: Expr, t: Box<Stmt>, e: Option<Box<Stmt>> },
+    While { c: Expr, body: Box<Stmt> },
+    DoWhile { body: Box<Stmt>, c: Expr },
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Option<Expr>,
+        step: Option<Expr>,
+        body: Box<Stmt>,
+    },
+    Return(Option<Expr>, u32),
+    Break(u32),
+    Continue(u32),
+    Block(Vec<Stmt>),
+    /// `#pragma independent p q`
+    Pragma(String, String),
+    Empty,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    pub name: String,
+    pub ty: Ty,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    pub name: String,
+    pub ret: Ty,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+/// A global variable or array definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    pub name: String,
+    /// Element type (the scalar type for non-arrays).
+    pub ty: Ty,
+    /// `Some(n)` for arrays.
+    pub array_len: Option<u64>,
+    /// Initial values (one for scalars, up to `array_len` for arrays).
+    pub init: Vec<i64>,
+    pub is_const: bool,
+    pub line: u32,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    Global(GlobalDecl),
+    Func(FuncDecl),
+}
+
+/// A whole parsed translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// All function definitions.
+    pub fn functions(&self) -> impl Iterator<Item = &FuncDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+
+    /// All globals.
+    pub fn globals(&self) -> impl Iterator<Item = &GlobalDecl> {
+        self.items.iter().filter_map(|i| match i {
+            Item::Global(g) => Some(g),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,477 @@
+//! Lexer for the MiniC language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Int(i64),
+    // Keywords.
+    KwInt,
+    KwUnsigned,
+    KwSigned,
+    KwChar,
+    KwShort,
+    KwLong,
+    KwVoid,
+    KwConst,
+    KwExtern,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    /// `#pragma independent <p> <q>`
+    PragmaIndependent(String, String),
+    // Punctuation.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Question,
+    Colon,
+    // Operators.
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    Shl,
+    Shr,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    ShlEq,
+    ShrEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+    PlusPlus,
+    MinusMinus,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::PragmaIndependent(p, q) => write!(f, "#pragma independent {p} {q}"),
+            Tok::Eof => f.write_str("end of input"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub line: u32,
+}
+
+/// A lexical error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src` into a vector ending with [`Tok::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LexError`] on unrecognized characters, malformed literals or
+/// malformed pragmas.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+    macro_rules! push {
+        ($t:expr) => {
+            out.push(Spanned { tok: $t, line })
+        };
+    }
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(LexError { line, msg: "unterminated comment".into() });
+                    }
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'#' => {
+                // Only `#pragma independent p q` is understood.
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let words: Vec<&str> = text[1..].split_whitespace().collect();
+                match words.as_slice() {
+                    ["pragma", "independent", p, q] => {
+                        push!(Tok::PragmaIndependent(p.to_string(), q.to_string()));
+                    }
+                    _ => {
+                        return Err(LexError {
+                            line,
+                            msg: format!("unsupported directive `{text}`"),
+                        })
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let (value, len) = if c == b'0'
+                    && i + 1 < b.len()
+                    && (b[i + 1] == b'x' || b[i + 1] == b'X')
+                {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j].is_ascii_hexdigit() {
+                        j += 1;
+                    }
+                    let digits = &src[i + 2..j];
+                    if digits.is_empty() {
+                        return Err(LexError { line, msg: "empty hex literal".into() });
+                    }
+                    let v = u64::from_str_radix(digits, 16).map_err(|_| LexError {
+                        line,
+                        msg: format!("hex literal `{digits}` out of range"),
+                    })?;
+                    (v as i64, j - start)
+                } else {
+                    let mut j = i;
+                    while j < b.len() && b[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                    let digits = &src[i..j];
+                    let v: i64 = digits.parse().map_err(|_| LexError {
+                        line,
+                        msg: format!("integer literal `{digits}` out of range"),
+                    })?;
+                    (v, j - start)
+                };
+                // Swallow C suffixes (u, l, ul…); any other letter glued to
+                // the literal is a malformed token, not two tokens.
+                let mut j = start + len;
+                while j < b.len() && matches!(b[j], b'u' | b'U' | b'l' | b'L') {
+                    j += 1;
+                }
+                if j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    return Err(LexError {
+                        line,
+                        msg: format!("malformed numeric literal `{}…`", &src[start..=j]),
+                    });
+                }
+                i = j;
+                push!(Tok::Int(value));
+            }
+            b'\'' => {
+                // Character literal.
+                if i + 2 >= b.len() {
+                    return Err(LexError { line, msg: "unterminated char literal".into() });
+                }
+                let (v, consumed) = if b[i + 1] == b'\\' {
+                    let esc = b[i + 2];
+                    let v = match esc {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'r' => b'\r',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        other => {
+                            return Err(LexError {
+                                line,
+                                msg: format!("unknown escape `\\{}`", other as char),
+                            })
+                        }
+                    };
+                    (v, 4)
+                } else {
+                    (b[i + 1], 3)
+                };
+                if i + consumed - 1 >= b.len() || b[i + consumed - 1] != b'\'' {
+                    return Err(LexError { line, msg: "unterminated char literal".into() });
+                }
+                i += consumed;
+                push!(Tok::Int(i64::from(v)));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "int" => Tok::KwInt,
+                    "unsigned" => Tok::KwUnsigned,
+                    "signed" => Tok::KwSigned,
+                    "char" => Tok::KwChar,
+                    "short" => Tok::KwShort,
+                    "long" => Tok::KwLong,
+                    "void" => Tok::KwVoid,
+                    "const" => Tok::KwConst,
+                    "extern" => Tok::KwExtern,
+                    "if" => Tok::KwIf,
+                    "else" => Tok::KwElse,
+                    "while" => Tok::KwWhile,
+                    "for" => Tok::KwFor,
+                    "do" => Tok::KwDo,
+                    "return" => Tok::KwReturn,
+                    "break" => Tok::KwBreak,
+                    "continue" => Tok::KwContinue,
+                    _ => Tok::Ident(word.to_string()),
+                };
+                push!(tok);
+            }
+            _ => {
+                // Operators and punctuation, longest match first.
+                let rest = &b[i..];
+                let two = |a: u8, b2: u8| rest.len() >= 2 && rest[0] == a && rest[1] == b2;
+                let three = |a: u8, b2: u8, c3: u8| {
+                    rest.len() >= 3 && rest[0] == a && rest[1] == b2 && rest[2] == c3
+                };
+                let (tok, len) = if three(b'<', b'<', b'=') {
+                    (Tok::ShlEq, 3)
+                } else if three(b'>', b'>', b'=') {
+                    (Tok::ShrEq, 3)
+                } else if two(b'<', b'<') {
+                    (Tok::Shl, 2)
+                } else if two(b'>', b'>') {
+                    (Tok::Shr, 2)
+                } else if two(b'<', b'=') {
+                    (Tok::Le, 2)
+                } else if two(b'>', b'=') {
+                    (Tok::Ge, 2)
+                } else if two(b'=', b'=') {
+                    (Tok::EqEq, 2)
+                } else if two(b'!', b'=') {
+                    (Tok::Ne, 2)
+                } else if two(b'&', b'&') {
+                    (Tok::AmpAmp, 2)
+                } else if two(b'|', b'|') {
+                    (Tok::PipePipe, 2)
+                } else if two(b'+', b'+') {
+                    (Tok::PlusPlus, 2)
+                } else if two(b'-', b'-') {
+                    (Tok::MinusMinus, 2)
+                } else if two(b'+', b'=') {
+                    (Tok::PlusEq, 2)
+                } else if two(b'-', b'=') {
+                    (Tok::MinusEq, 2)
+                } else if two(b'*', b'=') {
+                    (Tok::StarEq, 2)
+                } else if two(b'/', b'=') {
+                    (Tok::SlashEq, 2)
+                } else if two(b'%', b'=') {
+                    (Tok::PercentEq, 2)
+                } else if two(b'&', b'=') {
+                    (Tok::AmpEq, 2)
+                } else if two(b'|', b'=') {
+                    (Tok::PipeEq, 2)
+                } else if two(b'^', b'=') {
+                    (Tok::CaretEq, 2)
+                } else {
+                    let t = match c {
+                        b'(' => Tok::LParen,
+                        b')' => Tok::RParen,
+                        b'{' => Tok::LBrace,
+                        b'}' => Tok::RBrace,
+                        b'[' => Tok::LBracket,
+                        b']' => Tok::RBracket,
+                        b';' => Tok::Semi,
+                        b',' => Tok::Comma,
+                        b'?' => Tok::Question,
+                        b':' => Tok::Colon,
+                        b'+' => Tok::Plus,
+                        b'-' => Tok::Minus,
+                        b'*' => Tok::Star,
+                        b'/' => Tok::Slash,
+                        b'%' => Tok::Percent,
+                        b'&' => Tok::Amp,
+                        b'|' => Tok::Pipe,
+                        b'^' => Tok::Caret,
+                        b'~' => Tok::Tilde,
+                        b'!' => Tok::Bang,
+                        b'<' => Tok::Lt,
+                        b'>' => Tok::Gt,
+                        b'=' => Tok::Assign,
+                        other => {
+                            return Err(LexError {
+                                line,
+                                msg: format!("unexpected character `{}`", other as char),
+                            })
+                        }
+                    };
+                    (t, 1)
+                };
+                i += len;
+                push!(tok);
+            }
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("int foo unsigned"),
+            vec![Tok::KwInt, Tok::Ident("foo".into()), Tok::KwUnsigned, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42 0x1f 0 7u"), vec![
+            Tok::Int(42),
+            Tok::Int(31),
+            Tok::Int(0),
+            Tok::Int(7),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(toks("'a' '\\n' '\\0'"), vec![
+            Tok::Int(97),
+            Tok::Int(10),
+            Tok::Int(0),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn compound_operators_longest_match() {
+        assert_eq!(toks("<<= << <= <"), vec![
+            Tok::ShlEq,
+            Tok::Shl,
+            Tok::Le,
+            Tok::Lt,
+            Tok::Eof
+        ]);
+        assert_eq!(toks("a+=b ++c"), vec![
+            Tok::Ident("a".into()),
+            Tok::PlusEq,
+            Tok::Ident("b".into()),
+            Tok::PlusPlus,
+            Tok::Ident("c".into()),
+            Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let ts = lex("a // c\nb /* x\ny */ c").unwrap();
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 3);
+    }
+
+    #[test]
+    fn pragma_independent() {
+        assert_eq!(
+            toks("#pragma independent p q\nint x;"),
+            vec![
+                Tok::PragmaIndependent("p".into(), "q".into()),
+                Tok::KwInt,
+                Tok::Ident("x".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_directive_is_error() {
+        assert!(lex("#include <stdio.h>").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        let e = lex("int $x;").unwrap_err();
+        assert!(e.msg.contains('$'));
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* foo").is_err());
+    }
+}
+
+#[cfg(test)]
+mod glued_literal_tests {
+    use super::*;
+
+    #[test]
+    fn glued_letters_after_literal_are_rejected() {
+        assert!(lex("int x = 12q;").is_err());
+        assert!(lex("int x = 0x1fg;").is_err());
+        assert!(lex("int x = 12ul;").is_ok());
+    }
+}

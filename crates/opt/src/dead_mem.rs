@@ -1,0 +1,177 @@
+//! Dead memory-operation removal (§4.1) and dead-load elimination.
+//!
+//! A side-effect operation whose predicate is constant false can be removed
+//! outright: its token input is forwarded to its token consumers. Such
+//! predicates arise from control-flow optimizations and from the §5
+//! redundancy rewrites (a store whose predicate became `p & !p`). A load
+//! whose value is never consumed is equally dead.
+
+use crate::util::{bypass_token, mem_ops, pred_of};
+use analysis::PredicateMap;
+use cfgir::types::Type;
+use pegasus::{Graph, NodeKind, Src};
+
+/// Removes dead memory operations. Returns `(loads_removed, stores_removed)`.
+pub fn remove_dead(g: &mut Graph, pm: &mut PredicateMap) -> (usize, usize) {
+    let mut loads = 0;
+    let mut stores = 0;
+    loop {
+        let mut changed = false;
+        for op in mem_ops(g) {
+            match g.kind(op) {
+                NodeKind::Store { .. } => {
+                    let p = pred_of(g, op);
+                    if pm.is_false(g, p) {
+                        bypass_token(g, op);
+                        g.remove_node(op);
+                        stores += 1;
+                        changed = true;
+                    }
+                }
+                NodeKind::Load { ty, .. } => {
+                    let ty = ty.clone();
+                    let p = pred_of(g, op);
+                    let value_dead = !g.has_uses(op, 0);
+                    let pred_false = pm.is_false(g, p);
+                    if value_dead || pred_false {
+                        if !value_dead {
+                            // Nullified load: its value is arbitrary; pick 0
+                            // (matching the simulator's convention).
+                            let hb = g.hb(op);
+                            let z = g.add_node(
+                                NodeKind::Const { value: 0, ty },
+                                0,
+                                hb,
+                            );
+                            g.replace_all_uses(Src::of(op), Src::of(z));
+                        }
+                        bypass_token(g, op);
+                        g.remove_node(op);
+                        loads += 1;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        pegasus::prune_dead(g);
+        if !changed {
+            return (loads, stores);
+        }
+    }
+}
+
+/// Convenience for callers without predicate analysis: detects only
+/// syntactic constant-false predicates.
+pub fn remove_dead_simple(g: &mut Graph) -> (usize, usize) {
+    let mut pm = PredicateMap::new();
+    let _ = Type::Bool;
+    remove_dead(g, &mut pm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::objects::ObjectSet;
+    use cfgir::types::Type;
+    use pegasus::NodeKind;
+
+    fn store_with_pred(g: &mut Graph, pred: Src) -> pegasus::NodeId {
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let a = g.add_node(NodeKind::Const { value: 0x1000, ty: Type::int(64) }, 0, 0);
+        let v = g.add_node(NodeKind::Const { value: 7, ty: Type::int(32) }, 0, 0);
+        let s = g.add_node(NodeKind::Store { ty: Type::int(32), may: ObjectSet::Top }, 4, 0);
+        g.connect(Src::of(a), s, 0);
+        g.connect(Src::of(v), s, 1);
+        g.connect(pred, s, 2);
+        g.connect(Src::of(t), s, 3);
+        s
+    }
+
+    #[test]
+    fn false_pred_store_removed_and_token_bridged() {
+        let mut g = Graph::new();
+        let f = g.const_bool(false, 0);
+        let s = store_with_pred(&mut g, Src::of(f));
+        let tin = g.input(s, 3).unwrap().src;
+        // A return waits on the store's token.
+        let tp = g.const_bool(true, 0);
+        let r = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);
+        g.connect(Src::of(tp), r, 0);
+        g.connect(Src::of(s), r, 1);
+
+        let (l, st) = remove_dead_simple(&mut g);
+        assert_eq!((l, st), (0, 1));
+        assert!(matches!(g.kind(s), NodeKind::Removed));
+        // The return now waits on what the store waited on.
+        assert_eq!(g.input(r, 1).unwrap().src, tin);
+    }
+
+    #[test]
+    fn contradictory_pred_store_removed_via_bdd() {
+        let mut g = Graph::new();
+        let p = g.add_node(NodeKind::Param { index: 0, ty: Type::Bool }, 0, 0);
+        let np = g.pred_not(Src::of(p), 0);
+        let contradiction = g.pred_and(Src::of(p), Src::of(np), 0);
+        let s = store_with_pred(&mut g, Src::of(contradiction));
+        let tp = g.const_bool(true, 0);
+        let r = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);
+        g.connect(Src::of(tp), r, 0);
+        g.connect(Src::of(s), r, 1);
+        let (_, st) = remove_dead_simple(&mut g);
+        assert_eq!(st, 1);
+    }
+
+    #[test]
+    fn live_store_kept() {
+        let mut g = Graph::new();
+        let t = g.const_bool(true, 0);
+        let s = store_with_pred(&mut g, Src::of(t));
+        let r = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);
+        g.connect(Src::of(t), r, 0);
+        g.connect(Src::of(s), r, 1);
+        assert_eq!(remove_dead_simple(&mut g), (0, 0));
+        assert!(matches!(g.kind(s), NodeKind::Store { .. }));
+    }
+
+    #[test]
+    fn unused_load_removed() {
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let tp = g.const_bool(true, 0);
+        let a = g.add_node(NodeKind::Const { value: 0x1000, ty: Type::int(64) }, 0, 0);
+        let l = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        g.connect(Src::of(a), l, 0);
+        g.connect(Src::of(tp), l, 1);
+        g.connect(Src::of(t), l, 2);
+        let r = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);
+        g.connect(Src::of(tp), r, 0);
+        g.connect(Src::token_of_load(l), r, 1);
+        let (loads, _) = remove_dead_simple(&mut g);
+        assert_eq!(loads, 1);
+        assert!(matches!(g.kind(r), NodeKind::Return { .. }));
+        // Return token now comes straight from the initial token.
+        assert_eq!(g.input(r, 1).unwrap().src, Src::of(t));
+    }
+
+    #[test]
+    fn nullified_load_value_becomes_zero_constant() {
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let f = g.const_bool(false, 0);
+        let tp = g.const_bool(true, 0);
+        let a = g.add_node(NodeKind::Const { value: 0x1000, ty: Type::int(64) }, 0, 0);
+        let l = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        g.connect(Src::of(a), l, 0);
+        g.connect(Src::of(f), l, 1);
+        g.connect(Src::of(t), l, 2);
+        let r = g.add_node(NodeKind::Return { has_value: true, ty: Type::int(32) }, 3, 0);
+        g.connect(Src::of(tp), r, 0);
+        g.connect(Src::token_of_load(l), r, 1);
+        g.connect(Src::of(l), r, 2);
+        let (loads, _) = remove_dead_simple(&mut g);
+        assert_eq!(loads, 1);
+        let v = g.input(r, 2).unwrap().src;
+        assert!(matches!(g.kind(v.node), NodeKind::Const { value: 0, .. }));
+    }
+}

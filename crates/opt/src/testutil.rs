@@ -1,0 +1,80 @@
+//! Test-only helpers: source-to-graph compilation and simulation, so each
+//! pass can be exercised end-to-end and A/B-checked for soundness.
+
+#![cfg(test)]
+
+use cfgir::{AliasOracle, Module};
+use pegasus::Graph;
+
+/// Compiles MiniC source, inlines everything reachable from `main`, and
+/// builds a *coarse* Pegasus graph (no construction-time disambiguation,
+/// so the passes under test see the full token chains).
+pub fn compile(src: &str) -> (Module, Graph) {
+    compile_with(src, false)
+}
+
+/// Like [`compile`], with read/write-set disambiguation at build time.
+pub fn compile_rw(src: &str) -> (Module, Graph) {
+    compile_with(src, true)
+}
+
+fn compile_with(src: &str, rw: bool) -> (Module, Graph) {
+    let mut module = minic::compile_to_module(src).expect("test source compiles");
+    let mut flat = cfgir::inline::inline_all(&module, "main").expect("inlines");
+    cfgir::pointsto::recompute_may_sets(&mut flat);
+    // Replace main with the flattened version so the oracle sees it.
+    let idx = module
+        .functions
+        .iter()
+        .position(|f| f.name == "main")
+        .expect("main exists");
+    module.functions[idx] = flat;
+    let oracle = AliasOracle::new(&module);
+    let f = module.function("main").unwrap();
+    let g = pegasus::build(f, &oracle, &pegasus::BuildOptions { use_rw_sets: rw })
+        .expect("graph builds");
+    pegasus::verify(&g).expect("built graph verifies");
+    (module, g)
+}
+
+/// Runs the graph on a fresh machine with perfect memory; returns
+/// `(return value, machine)` so tests can inspect memory.
+pub fn run(
+    module: &Module,
+    g: &Graph,
+    args: &[i64],
+) -> (Option<i64>, ashsim::Machine, ashsim::SimResult) {
+    let mut machine = ashsim::Machine::new(module, ashsim::MemSystem::Perfect { latency: 2 });
+    let r = ashsim::simulate(g, &mut machine, args, &ashsim::SimConfig::perfect())
+        .expect("simulation completes");
+    (r.ret, machine, r)
+}
+
+/// Asserts that two graphs compute the same result and memory effects for
+/// the given argument vectors (soundness A/B check).
+pub fn assert_equivalent(
+    module: &Module,
+    before: &Graph,
+    after: &Graph,
+    arg_sets: &[Vec<i64>],
+) {
+    for args in arg_sets {
+        let (r1, m1, _) = run(module, before, args);
+        let (r2, m2, _) = run(module, after, args);
+        assert_eq!(r1, r2, "return values diverge for args {args:?}");
+        for (i, obj) in module.objects.iter().enumerate() {
+            if obj.len == 0 {
+                continue;
+            }
+            let id = cfgir::objects::ObjId(i as u32);
+            for k in 0..obj.len {
+                assert_eq!(
+                    m1.read_elem(module, id, k),
+                    m2.read_elem(module, id, k),
+                    "memory diverges at {}[{k}] for args {args:?}",
+                    obj.name
+                );
+            }
+        }
+    }
+}

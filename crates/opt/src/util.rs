@@ -1,0 +1,101 @@
+//! Shared helpers for the optimization passes.
+
+use pegasus::{Graph, NodeId, NodeKind, Src};
+
+/// The token output of a memory operation.
+pub fn token_out(g: &Graph, op: NodeId) -> Src {
+    match g.kind(op) {
+        NodeKind::Load { .. } => Src::token_of_load(op),
+        NodeKind::Store { .. } => Src::of(op),
+        other => panic!("token_out of non-memory node {other:?}"),
+    }
+}
+
+/// The token input port of a memory operation.
+pub fn token_in_port(g: &Graph, op: NodeId) -> u16 {
+    match g.kind(op) {
+        NodeKind::Load { .. } => 2,
+        NodeKind::Store { .. } => 3,
+        other => panic!("token_in_port of non-memory node {other:?}"),
+    }
+}
+
+/// The predicate input port of a memory operation.
+pub fn pred_port(g: &Graph, op: NodeId) -> u16 {
+    match g.kind(op) {
+        NodeKind::Load { .. } => 1,
+        NodeKind::Store { .. } => 2,
+        other => panic!("pred_port of non-memory node {other:?}"),
+    }
+}
+
+/// The current predicate source of a memory operation.
+pub fn pred_of(g: &Graph, op: NodeId) -> Src {
+    g.input(op, pred_port(g, op)).expect("memory op has a predicate").src
+}
+
+/// The address source of a memory operation (input 0 for both kinds).
+pub fn addr_of(g: &Graph, op: NodeId) -> Src {
+    g.input(op, 0).expect("memory op has an address").src
+}
+
+/// The access size in bytes.
+pub fn size_of(g: &Graph, op: NodeId) -> u64 {
+    match g.kind(op) {
+        NodeKind::Load { ty, .. } | NodeKind::Store { ty, .. } => ty.size_bytes(),
+        other => panic!("size_of non-memory node {other:?}"),
+    }
+}
+
+/// Reroutes every consumer of `op`'s token output to `op`'s token input
+/// source, taking `op` out of the token chain.
+pub fn bypass_token(g: &mut Graph, op: NodeId) {
+    let tin = g.input(op, token_in_port(g, op)).expect("token input connected").src;
+    let tout = token_out(g, op);
+    g.replace_all_uses(tout, tin);
+}
+
+/// Removes a memory operation entirely: bypasses its token and deletes the
+/// node (plus anything that becomes dead).
+///
+/// # Panics
+///
+/// Panics if a load's value output still has consumers.
+pub fn remove_mem_op(g: &mut Graph, op: NodeId) {
+    bypass_token(g, op);
+    assert!(
+        !g.has_uses(op, 0) || matches!(g.kind(op), NodeKind::Store { .. }),
+        "removing a load whose value is still used"
+    );
+    // Stores' port 0 output is the token, already rerouted.
+    g.remove_node(op);
+    pegasus::prune_dead(g);
+}
+
+/// Is `src` the boolean constant `true` node?
+pub fn is_const_true(g: &Graph, src: Src) -> bool {
+    matches!(
+        g.kind(src.node),
+        NodeKind::Const { value, ty } if *value != 0 && *ty == cfgir::types::Type::Bool
+    ) && src.port == 0
+}
+
+/// Is `src` the boolean constant `false` node?
+pub fn is_const_false(g: &Graph, src: Src) -> bool {
+    matches!(
+        g.kind(src.node),
+        NodeKind::Const { value: 0, ty } if *ty == cfgir::types::Type::Bool
+    ) && src.port == 0
+}
+
+/// All live memory operations of the graph.
+pub fn mem_ops(g: &Graph) -> Vec<NodeId> {
+    g.live_ids().filter(|&id| g.kind(id).is_memory()).collect()
+}
+
+/// All live memory operations within hyperblock `hb`.
+pub fn mem_ops_in_hb(g: &Graph, hb: u32) -> Vec<NodeId> {
+    g.live_ids()
+        .filter(|&id| g.hb(id) == hb && g.kind(id).is_memory())
+        .collect()
+}

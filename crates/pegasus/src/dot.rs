@@ -1,0 +1,88 @@
+//! Graphviz (DOT) export of Pegasus graphs, in the paper's visual style:
+//! solid edges for data, dotted for predicates, dashed for tokens;
+//! multiplexors as trapezoids, merges/etas as triangles, combines as "V".
+
+use crate::graph::{Graph, NodeKind, VClass};
+use std::fmt::Write;
+
+/// Renders `g` as a DOT digraph.
+pub fn to_dot(g: &Graph, title: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{title}\" {{");
+    let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
+    for id in g.live_ids() {
+        let (label, shape) = match g.kind(id) {
+            NodeKind::Const { value, ty } => (format!("{value}:{ty}"), "plaintext"),
+            NodeKind::Param { index, .. } => (format!("arg{index}"), "ellipse"),
+            NodeKind::Addr { obj } => (format!("&{obj}"), "plaintext"),
+            NodeKind::BinOp { op, .. } => (format!("{op}"), "circle"),
+            NodeKind::UnOp { op, .. } => (format!("{op}"), "circle"),
+            NodeKind::Cast { ty } => (format!("({ty})"), "circle"),
+            NodeKind::Mux { .. } => ("mux".into(), "trapezium"),
+            NodeKind::Merge { .. } => ("merge".into(), "triangle"),
+            NodeKind::Eta { .. } => ("eta".into(), "invtriangle"),
+            NodeKind::Combine => ("V".into(), "point"),
+            NodeKind::Load { ty, .. } => (format!("load {ty}"), "box"),
+            NodeKind::Store { ty, .. } => (format!("store {ty}"), "box"),
+            NodeKind::TokenGen { n } => (format!("tk({n})"), "doublecircle"),
+            NodeKind::Return { .. } => ("ret".into(), "house"),
+            NodeKind::InitialToken => ("*".into(), "plaintext"),
+            NodeKind::Removed => continue,
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\\n{}\" shape={} ];",
+            id.index(),
+            label,
+            id,
+            shape
+        );
+    }
+    for id in g.live_ids() {
+        for p in 0..g.num_inputs(id) {
+            if let Some(inp) = g.input(id, p as u16) {
+                let style = match g.kind(inp.src.node).output_class(inp.src.port) {
+                    VClass::Data => "solid",
+                    VClass::Pred => "dotted",
+                    VClass::Token => "dashed",
+                };
+                let constraint = if inp.back { " constraint=false color=red" } else { "" };
+                let _ = writeln!(
+                    s,
+                    "  {} -> {} [style={style}{constraint}];",
+                    inp.src.node.index(),
+                    id.index()
+                );
+            }
+        }
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{NodeKind, Src};
+    use cfgir::types::Type;
+
+    #[test]
+    fn dot_contains_nodes_and_styles() {
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let p = g.const_bool(true, 0);
+        let e = g.add_node(
+            NodeKind::Eta { vc: crate::graph::VClass::Token, ty: Type::Bool },
+            2,
+            0,
+        );
+        g.connect(Src::of(t), e, 0);
+        g.connect(Src::of(p), e, 1);
+        let dot = to_dot(&g, "test");
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("eta"));
+        assert!(dot.contains("style=dashed"), "token edge must be dashed");
+        assert!(dot.contains("style=dotted"), "predicate edge must be dotted");
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Structural verification of Pegasus graphs.
+//!
+//! Run after construction and after every optimization pass in debug
+//! builds; catches dangling inputs, class mismatches, malformed arities,
+//! and cycles that do not pass through marked back edges.
+
+use crate::graph::{Graph, NodeId, NodeKind, VClass};
+use std::fmt;
+
+/// A defect found by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// An input slot is unconnected.
+    DanglingInput { node: NodeId, port: u16 },
+    /// An edge's producer class does not match the consumer's expectation.
+    ClassMismatch { node: NodeId, port: u16, expected: VClass, got: VClass },
+    /// A node has the wrong number of input slots for its kind.
+    BadArity { node: NodeId, got: usize },
+    /// A cycle exists that does not pass through a back edge.
+    ForwardCycle { node: NodeId },
+    /// A back edge targets something other than a merge or token generator.
+    BadBackEdge { node: NodeId, port: u16 },
+    /// A use record is inconsistent with the input table.
+    BrokenUseRecord { node: NodeId },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::DanglingInput { node, port } => {
+                write!(f, "{node} input {port} is unconnected")
+            }
+            VerifyError::ClassMismatch { node, port, expected, got } => write!(
+                f,
+                "{node} input {port} expects {expected:?} but receives {got:?}"
+            ),
+            VerifyError::BadArity { node, got } => {
+                write!(f, "{node} has {got} inputs, invalid for its kind")
+            }
+            VerifyError::ForwardCycle { node } => {
+                write!(f, "cycle through {node} without a back edge")
+            }
+            VerifyError::BadBackEdge { node, port } => {
+                write!(f, "back edge into non-merge {node} port {port}")
+            }
+            VerifyError::BrokenUseRecord { node } => {
+                write!(f, "def-use records of {node} are inconsistent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks all structural invariants of `g`.
+///
+/// # Errors
+///
+/// Returns the first defect found.
+pub fn verify(g: &Graph) -> Result<(), VerifyError> {
+    for id in g.live_ids() {
+        let node = g.node(id);
+        check_arity(id, node.inputs.len(), &node.kind)?;
+        for (p, slot) in node.inputs.iter().enumerate() {
+            let port = p as u16;
+            let inp = slot.ok_or(VerifyError::DanglingInput { node: id, port })?;
+            let got = g.kind(inp.src.node).output_class(inp.src.port);
+            let expected = node.kind.input_class(port);
+            let ok = match (&node.kind, expected, got) {
+                // Cast converts between scalar classes freely.
+                (NodeKind::Cast { .. }, _, VClass::Data | VClass::Pred) => true,
+                (_, e, g2) => e == g2,
+            };
+            if !ok {
+                return Err(VerifyError::ClassMismatch { node: id, port, expected, got });
+            }
+            if inp.back
+                && !matches!(
+                    node.kind,
+                    NodeKind::Merge { .. } | NodeKind::TokenGen { .. }
+                )
+            {
+                return Err(VerifyError::BadBackEdge { node: id, port });
+            }
+        }
+        // Use records round-trip.
+        for u in g.uses(id) {
+            match g.input(u.dst, u.dst_port) {
+                Some(i) if i.src.node == id && i.src.port == u.src_port => {}
+                _ => return Err(VerifyError::BrokenUseRecord { node: id }),
+            }
+        }
+    }
+    check_forward_acyclic(g)?;
+    Ok(())
+}
+
+fn check_arity(id: NodeId, n: usize, kind: &NodeKind) -> Result<(), VerifyError> {
+    let ok = match kind {
+        NodeKind::Const { .. }
+        | NodeKind::Param { .. }
+        | NodeKind::Addr { .. }
+        | NodeKind::InitialToken => n == 0,
+        NodeKind::BinOp { .. } => n == 2,
+        NodeKind::UnOp { .. } | NodeKind::Cast { .. } => n == 1,
+        NodeKind::Mux { .. } => n >= 2 && n % 2 == 0,
+        NodeKind::Merge { .. } | NodeKind::Combine => n >= 1,
+        NodeKind::Eta { .. } => n == 2,
+        NodeKind::Load { .. } => n == 3,
+        NodeKind::Store { .. } => n == 4,
+        NodeKind::TokenGen { .. } => n == 2,
+        NodeKind::Return { has_value, .. } => n == if *has_value { 3 } else { 2 },
+        NodeKind::Removed => n == 0,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(VerifyError::BadArity { node: id, got: n })
+    }
+}
+
+/// DFS cycle detection over forward (non-back) edges.
+fn check_forward_acyclic(g: &Graph) -> Result<(), VerifyError> {
+    let n = g.len();
+    let mut state = vec![0u8; n]; // 0 = white, 1 = grey, 2 = black
+    for start in g.live_ids() {
+        if state[start.index()] != 0 {
+            continue;
+        }
+        // Iterative DFS over *consumers* via forward edges.
+        let mut stack: Vec<(NodeId, usize)> = vec![(start, 0)];
+        state[start.index()] = 1;
+        while let Some(frame) = stack.last_mut() {
+            let (id, next) = (frame.0, &mut frame.1);
+            let uses = g.uses(id);
+            let mut descended = false;
+            while *next < uses.len() {
+                let u = uses[*next];
+                *next += 1;
+                let back = g.input(u.dst, u.dst_port).map(|i| i.back).unwrap_or(false);
+                if back {
+                    continue;
+                }
+                match state[u.dst.index()] {
+                    0 => {
+                        state[u.dst.index()] = 1;
+                        stack.push((u.dst, 0));
+                        descended = true;
+                        break;
+                    }
+                    1 => return Err(VerifyError::ForwardCycle { node: u.dst }),
+                    _ => {}
+                }
+            }
+            if !descended {
+                state[id.index()] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Graph, Src, VClass};
+    use cfgir::objects::ObjectSet;
+    use cfgir::types::{BinOp, Type};
+
+    #[test]
+    fn valid_small_graph_passes() {
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let p = g.const_bool(true, 0);
+        let a = g.add_node(NodeKind::Const { value: 16, ty: Type::int(64) }, 0, 0);
+        let l = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        g.connect(Src::of(a), l, 0);
+        g.connect(Src::of(p), l, 1);
+        g.connect(Src::of(t), l, 2);
+        let r = g.add_node(
+            NodeKind::Return { has_value: true, ty: Type::int(32) },
+            3,
+            0,
+        );
+        g.connect(Src::of(p), r, 0);
+        g.connect(Src::token_of_load(l), r, 1);
+        g.connect(Src::of(l), r, 2);
+        assert_eq!(verify(&g), Ok(()));
+    }
+
+    #[test]
+    fn dangling_input_detected() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Const { value: 1, ty: Type::int(32) }, 0, 0);
+        let n = g.add_node(NodeKind::BinOp { op: BinOp::Add, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(a), n, 0);
+        assert!(matches!(
+            verify(&g),
+            Err(VerifyError::DanglingInput { port: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn class_mismatch_detected() {
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let n = g.add_node(NodeKind::UnOp { op: cfgir::types::UnOp::Neg, ty: Type::int(32) }, 1, 0);
+        g.connect(Src::of(t), n, 0); // token into an ALU input
+        assert!(matches!(verify(&g), Err(VerifyError::ClassMismatch { .. })));
+    }
+
+    #[test]
+    fn forward_cycle_detected() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::UnOp { op: cfgir::types::UnOp::Neg, ty: Type::int(32) }, 1, 0);
+        let b = g.add_node(NodeKind::UnOp { op: cfgir::types::UnOp::Neg, ty: Type::int(32) }, 1, 0);
+        g.connect(Src::of(a), b, 0);
+        g.connect(Src::of(b), a, 0);
+        assert!(matches!(verify(&g), Err(VerifyError::ForwardCycle { .. })));
+    }
+
+    #[test]
+    fn back_edge_cycle_is_fine() {
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let p = g.const_bool(true, 0);
+        let m = g.add_node(NodeKind::Merge { vc: VClass::Token, ty: Type::Bool }, 2, 0);
+        let e = g.add_node(NodeKind::Eta { vc: VClass::Token, ty: Type::Bool }, 2, 0);
+        g.connect(Src::of(t), m, 0);
+        g.connect(Src::of(m), e, 0);
+        g.connect(Src::of(p), e, 1);
+        g.connect_back(Src::of(e), m, 1);
+        assert_eq!(verify(&g), Ok(()));
+    }
+
+    #[test]
+    fn back_edge_into_eta_rejected() {
+        let mut g = Graph::new();
+        let p = g.const_bool(true, 0);
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let e = g.add_node(NodeKind::Eta { vc: VClass::Token, ty: Type::Bool }, 2, 0);
+        g.connect_back(Src::of(t), e, 0);
+        g.connect(Src::of(p), e, 1);
+        assert!(matches!(verify(&g), Err(VerifyError::BadBackEdge { .. })));
+    }
+
+    #[test]
+    fn bad_mux_arity_rejected() {
+        let mut g = Graph::new();
+        let p = g.const_bool(true, 0);
+        let m = g.add_node(NodeKind::Mux { ty: Type::Bool }, 3, 0);
+        g.connect(Src::of(p), m, 0);
+        g.connect(Src::of(p), m, 1);
+        g.connect(Src::of(p), m, 2);
+        assert!(matches!(verify(&g), Err(VerifyError::BadArity { .. })));
+    }
+}

@@ -1,0 +1,93 @@
+//! A full ADPCM-style codec kernel — the shape of the paper's `adpcm_e`
+//! benchmark: a bit-twiddling inner loop with a small adaptive state,
+//! table lookups in immutable data, and streaming array traffic.
+//!
+//! Run with `cargo run --example codec`.
+
+use cash::{Compiler, OptLevel, SimConfig};
+
+const SOURCE: &str = "
+    const int step_tab[16] = {7, 8, 9, 10, 11, 12, 13, 14,
+                              16, 17, 19, 21, 23, 25, 28, 31};
+    const int index_adj[8] = {-1, -1, -1, -1, 2, 4, 6, 8};
+
+    int pcm[128];
+    int code[128];
+    int decoded[128];
+
+    void encode(int n) {
+        int pred = 0;
+        int index = 0;
+        for (int i = 0; i < n; i++) {
+            int step = step_tab[index & 15];
+            int diff = pcm[i] - pred;
+            int sign = 0;
+            if (diff < 0) { sign = 8; diff = -diff; }
+            int delta = 0;
+            if (diff >= step) { delta = 4; diff -= step; }
+            if (diff >= (step >> 1)) { delta |= 2; diff -= step >> 1; }
+            if (diff >= (step >> 2)) { delta |= 1; }
+            code[i] = delta | sign;
+            int change = delta * step >> 2;
+            if (sign) pred -= change; else pred += change;
+            index += index_adj[delta & 7];
+            if (index < 0) index = 0;
+            if (index > 15) index = 15;
+        }
+    }
+
+    void decode(int n) {
+        int pred = 0;
+        int index = 0;
+        for (int i = 0; i < n; i++) {
+            int step = step_tab[index & 15];
+            int delta = code[i] & 7;
+            int sign = code[i] & 8;
+            int change = delta * step >> 2;
+            if (sign) pred -= change; else pred += change;
+            decoded[i] = pred;
+            index += index_adj[delta];
+            if (index < 0) index = 0;
+            if (index > 15) index = 15;
+        }
+    }
+
+    int main(int n) {
+        for (int i = 0; i < n; i++)
+            pcm[i] = ((i * 37) & 63) - 32;
+        encode(n);
+        decode(n);
+        int err = 0;
+        for (int i = 0; i < n; i++) {
+            int d = pcm[i] - decoded[i];
+            if (d < 0) d = -d;
+            err += d;
+        }
+        return err;
+    }";
+
+fn main() -> Result<(), cash::Error> {
+    println!("level   circuit  loads stores   cycles   dyn-loads dyn-stores");
+    let mut last = None;
+    for level in [OptLevel::None, OptLevel::Medium, OptLevel::Full] {
+        let p = Compiler::new().level(level).compile(SOURCE)?;
+        let (l, s) = p.static_memory_ops();
+        let r = p.simulate(&[96], &SimConfig::default())?;
+        println!(
+            "{:<7} {:>7}  {:>5} {:>6}  {:>7}   {:>9} {:>10}",
+            level.to_string(),
+            p.circuit_size(),
+            l,
+            s,
+            r.cycles,
+            r.stats.loads,
+            r.stats.stores
+        );
+        if let Some(prev) = last {
+            assert_eq!(prev, r.ret, "levels must agree");
+        }
+        last = Some(r.ret);
+    }
+    println!("\ntotal |pcm - decoded| error over 96 samples: {:?}", last.unwrap());
+    Ok(())
+}

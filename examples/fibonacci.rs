@@ -1,0 +1,45 @@
+//! The Figure 2 program: the iterative Fibonacci function, whose Pegasus
+//! representation is three hyperblocks with merge/eta loops for the
+//! loop-carried scalars. Being all-scalar, it compiles to a circuit with
+//! zero memory operations.
+//!
+//! Run with `cargo run --example fibonacci` (pass `--dot` to dump the
+//! circuit in Graphviz format).
+
+use cash::{Compiler, SimConfig};
+
+const SOURCE: &str = "
+    int main(int k) {
+        int a = 0;
+        int b = 1;
+        while (k != 0) {
+            int tmp = a;
+            a = b;
+            b = tmp + b;
+            k--;
+        }
+        return a;
+    }";
+
+fn main() -> Result<(), cash::Error> {
+    let program = Compiler::new().compile(SOURCE)?;
+    if std::env::args().any(|a| a == "--dot") {
+        println!("{}", program.to_dot());
+        return Ok(());
+    }
+    println!(
+        "fib circuit: {} nodes, {:?} memory operations",
+        program.circuit_size(),
+        program.graph.count_memory_ops()
+    );
+    assert_eq!(program.graph.count_memory_ops(), (0, 0));
+
+    let mut expect = (0i64, 1i64);
+    for k in 0..20 {
+        let r = program.simulate(&[k], &SimConfig::perfect())?;
+        println!("fib({k:2}) = {:>6} in {:>4} cycles", r.ret.unwrap(), r.cycles);
+        assert_eq!(r.ret, Some(expect.0));
+        expect = (expect.1, expect.0 + expect.1);
+    }
+    Ok(())
+}

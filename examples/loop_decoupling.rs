@@ -1,0 +1,65 @@
+//! Loop decoupling (§6.3, Figures 15–17): `a[i] = a[i] + a[i+3]`.
+//!
+//! Dependence analysis finds a fixed distance of 3 iterations between the
+//! far load `a[i+3]` and the store `a[i]`. The optimizer slices the loop
+//! into two independent rings — the `a[i+3]` load loop and the
+//! `a[i]`-update loop — joined by a token generator `tk(3)`: the update
+//! loop may run at most 3 iterations ahead of the far-load loop, and the
+//! far-load loop may slip arbitrarily far ahead.
+//!
+//! Run with `cargo run --example loop_decoupling`.
+
+use cash::{Compiler, OptLevel, SimConfig};
+
+const SOURCE: &str = "
+    int a[131];
+
+    int main(int n) {
+        for (int i = 0; i < n; i++)
+            a[i] = a[i] + a[i+3];
+        int acc = 0;
+        for (int i = 0; i < n; i++)
+            acc += a[i];
+        return acc;
+    }";
+
+fn reference(n: usize) -> i64 {
+    let mut a = vec![0i64; 131];
+    for (i, v) in a.iter_mut().enumerate() {
+        *v = 0;
+        let _ = i;
+    }
+    for i in 0..n {
+        a[i] += a[i + 3];
+    }
+    a[..n].iter().sum()
+}
+
+fn main() -> Result<(), cash::Error> {
+    let serial = Compiler::new().level(OptLevel::Medium).compile(SOURCE)?;
+    let decoupled = Compiler::new().level(OptLevel::Full).compile(SOURCE)?;
+
+    println!(
+        "serial circuit: {} token generators; decoupled: {}",
+        serial.graph.count_token_gens(),
+        decoupled.graph.count_token_gens()
+    );
+    assert!(decoupled.graph.count_token_gens() >= 1, "tk(3) expected");
+
+    println!("\n   n   serial-cycles  decoupled-cycles  speedup");
+    for n in [16i64, 32, 64, 128] {
+        let r0 = serial.simulate(&[n], &SimConfig::default())?;
+        let r1 = decoupled.simulate(&[n], &SimConfig::default())?;
+        assert_eq!(r0.ret, r1.ret, "results must agree at n={n}");
+        assert_eq!(r0.ret, Some(reference(n as usize)), "reference check");
+        println!(
+            "{n:>4}   {:>12}  {:>16}  {:>6.2}x",
+            r0.cycles,
+            r1.cycles,
+            r0.cycles as f64 / r1.cycles as f64
+        );
+    }
+    println!("\n(the decoupled loop hides the far-load latency: the update");
+    println!(" ring trails at a bounded slip of 3 iterations)");
+    Ok(())
+}

@@ -1,0 +1,148 @@
+//! Optimizer soundness: property-based A/B testing. Random programs from a
+//! structured generator are compiled at `None` and `Full` and must agree on
+//! results and final memory for several inputs.
+
+use cash::{Compiler, OptLevel, SimConfig};
+use proptest::prelude::*;
+
+/// A tiny random-program generator: straight-line and looped accesses over
+/// two arrays with data-dependent branches.
+#[derive(Debug, Clone)]
+enum Op {
+    StoreA { idx: u8, val: i8 },
+    StoreB { idx: u8, val: i8 },
+    AccLoadA { idx: u8 },
+    AccLoadB { idx: u8 },
+    CondStoreA { idx: u8, val: i8 },
+    LoopCopy { len: u8, off: u8 },
+    LoopAcc { len: u8 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<i8>()).prop_map(|(idx, val)| Op::StoreA { idx, val }),
+        (0u8..8, any::<i8>()).prop_map(|(idx, val)| Op::StoreB { idx, val }),
+        (0u8..8).prop_map(|idx| Op::AccLoadA { idx }),
+        (0u8..8).prop_map(|idx| Op::AccLoadB { idx }),
+        (0u8..8, any::<i8>()).prop_map(|(idx, val)| Op::CondStoreA { idx, val }),
+        (1u8..6, 0u8..3).prop_map(|(len, off)| Op::LoopCopy { len, off }),
+        (1u8..8).prop_map(|len| Op::LoopAcc { len }),
+    ]
+}
+
+fn emit(ops: &[Op]) -> String {
+    let mut body = String::new();
+    for (k, o) in ops.iter().enumerate() {
+        let stmt = match o {
+            Op::StoreA { idx, val } => format!("a[{idx}] = {val};"),
+            Op::StoreB { idx, val } => format!("b[{idx}] = {val};"),
+            Op::AccLoadA { idx } => format!("acc += a[{idx}];"),
+            Op::AccLoadB { idx } => format!("acc += b[{idx}];"),
+            Op::CondStoreA { idx, val } => {
+                format!("if ((x + {k}) & 1) a[{idx}] = {val};")
+            }
+            Op::LoopCopy { len, off } => format!(
+                "for (int i = 0; i < {len}; i++) b[i + {off}] = a[i] + 1;"
+            ),
+            Op::LoopAcc { len } => {
+                format!("for (int i = 0; i < {len}; i++) acc += a[i] ^ b[i];")
+            }
+        };
+        body.push_str("            ");
+        body.push_str(&stmt);
+        body.push('\n');
+    }
+    format!(
+        "int a[16]; int b[16];
+         int main(int x) {{
+            int acc = x;
+{body}
+            int sum = 0;
+            for (int i = 0; i < 16; i++) sum += a[i] * 3 + b[i];
+            return acc * 100003 + sum;
+         }}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn optimizer_preserves_program_behaviour(ops in proptest::collection::vec(op(), 1..10)) {
+        let src = emit(&ops);
+        let base = Compiler::new().level(OptLevel::None).compile(&src)
+            .expect("baseline compiles");
+        let full = Compiler::new().level(OptLevel::Full).compile(&src)
+            .expect("optimized compiles");
+        for x in [0i64, 1, -3, 42] {
+            let r0 = base.simulate(&[x], &SimConfig::perfect()).expect("baseline runs");
+            let r1 = full.simulate(&[x], &SimConfig::perfect()).expect("optimized runs");
+            prop_assert_eq!(r0.ret, r1.ret, "x={} src:\n{}", x, src);
+            // The optimizer must never *increase* memory traffic.
+            prop_assert!(
+                r1.stats.loads <= r0.stats.loads,
+                "loads grew {} -> {} for:\n{}", r0.stats.loads, r1.stats.loads, src
+            );
+            prop_assert!(
+                r1.stats.stores <= r0.stats.stores,
+                "stores grew {} -> {} for:\n{}", r0.stats.stores, r1.stats.stores, src
+            );
+        }
+    }
+}
+
+#[test]
+fn medium_level_is_also_sound_on_the_pipelining_shapes() {
+    // Deterministic regression corpus for the §6 transformations.
+    let corpus = [
+        "int a[32]; int main(int n) {
+             for (int i = 0; i < n; i++) a[i] = a[i] + a[i+3];
+             int s = 0; for (int i = 0; i < n; i++) s += a[i];
+             return s; }",
+        "int a[32]; int b[33]; int main(int n) {
+             for (int i = 0; i < n; i++) { b[i+1] = i & 7; a[i] = b[i] * 2; }
+             int s = 0; for (int i = 0; i < n; i++) s += a[i] - b[i];
+             return s; }",
+        "int a[32]; int main(int n) {
+             int s = 0;
+             for (int i = 0; i < n; i++) s += a[i & 3];    /* read-only */
+             for (int i = 0; i < n; i++) a[(s + i) & 31] = i; /* unknown */
+             return s + a[0]; }",
+    ];
+    for src in corpus {
+        let mut prev = None;
+        for level in OptLevel::ALL {
+            let p = Compiler::new().level(level).compile(src).unwrap();
+            for n in [0i64, 1, 7, 23] {
+                let r = p.simulate(&[n], &SimConfig::perfect()).unwrap();
+                if let Some((pl, pn, pr)) = prev {
+                    if pn == n {
+                        assert_eq!(pr, r.ret, "{pl} vs {level} at n={n}:\n{src}");
+                    }
+                }
+                prev = Some((level, n, r.ret));
+            }
+        }
+    }
+}
+
+#[test]
+fn static_reductions_never_lose_operations_semantically() {
+    // Kernels with heavy redundancy: check the optimizer's static claims
+    // against dynamic counts.
+    let src = "
+        int a[8];
+        int main(int i, int v) {
+            a[i] = v;
+            a[i] = v + 1;          /* kills the first store */
+            int x = a[i];          /* forwarded */
+            a[i] = x * 2;
+            return a[i];           /* forwarded */
+        }";
+    let p = Compiler::new().compile(src).unwrap();
+    let (loads, stores) = p.static_memory_ops();
+    assert!(loads == 0, "all loads forwarded, got {loads}");
+    assert!(stores <= 2, "dead store removed, got {stores}");
+    let r = p.simulate(&[2, 10], &SimConfig::perfect()).unwrap();
+    assert_eq!(r.ret, Some(22));
+}
