@@ -150,7 +150,9 @@ fn affine_rec(g: &Graph, src: Src, memo: &mut BTreeMap<Src, Affine>, depth: u32)
                             cfgir::types::BinOp::Sub => fa.sub(&fb),
                             cfgir::types::BinOp::Mul if fa.is_const() => fb.scale(fa.k),
                             cfgir::types::BinOp::Mul if fb.is_const() => fa.scale(fb.k),
-                            cfgir::types::BinOp::Shl if fb.is_const() && (0..32).contains(&fb.k) => {
+                            cfgir::types::BinOp::Shl
+                                if fb.is_const() && (0..32).contains(&fb.k) =>
+                            {
                                 fa.scale(1 << fb.k)
                             }
                             _ => Affine::term(src),

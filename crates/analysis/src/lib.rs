@@ -18,5 +18,7 @@ pub mod loopinfo;
 pub mod pred;
 
 pub use affine::{affine_of, always_equal, may_overlap, Affine};
-pub use loopinfo::{find_activation, find_ivs, find_token_ring, iteration_conflict, Conflict, IndVars, TokenRing};
+pub use loopinfo::{
+    find_activation, find_ivs, find_token_ring, iteration_conflict, Conflict, IndVars, TokenRing,
+};
 pub use pred::PredicateMap;

@@ -90,15 +90,7 @@ pub fn find_token_ring(g: &Graph, hb: u32) -> Option<TokenRing> {
             }
         }
     }
-    Some(TokenRing {
-        hb,
-        merge,
-        entries,
-        back_etas,
-        cont_preds,
-        final_token,
-        exit_etas,
-    })
+    Some(TokenRing { hb, merge, entries, back_etas, cont_preds, final_token, exit_etas })
 }
 
 /// Finds the loop hyperblock's *activation* predicate merge: the predicate
@@ -231,7 +223,7 @@ pub fn iteration_conflict(
     // delta(i, j) = a(i) - b(j). Terms must match per IV for the initial
     // values to cancel; non-IV terms must cancel outright.
     let d = a.sub(b);
-    for (t, _c) in &d.terms {
+    for t in d.terms.keys() {
         match t {
             Term::Src(s) if ivs.steps.contains_key(s) => {
                 // a and b must use this IV with the same coefficient,
@@ -421,10 +413,7 @@ mod tests {
         assert!(ivs.steps.values().any(|&s| s == 1), "steps: {:?}", ivs.steps);
 
         // The store's address is affine in the IV with stride 4.
-        let store = g
-            .live_ids()
-            .find(|&id| matches!(g.kind(id), NodeKind::Store { .. }))
-            .unwrap();
+        let store = g.live_ids().find(|&id| matches!(g.kind(id), NodeKind::Store { .. })).unwrap();
         let a = affine_of(&g, g.input(store, 0).unwrap().src);
         let stride: i64 = a
             .terms

@@ -14,8 +14,10 @@
 //! run-time constants are modeled as always-available *sticky* sources.
 
 use crate::memory::{Machine, MemStats, MemSystem};
+use crate::profile::{kind_label, NodeProfile, SimProfile, StallCause};
+use crate::trace::{Trace, TraceEvent};
 use cfgir::types::{BinOp, Type};
-use pegasus::{Graph, NodeId, NodeKind, Src};
+use pegasus::{Graph, NodeId, NodeKind, Src, VClass};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::fmt;
@@ -33,6 +35,12 @@ pub struct SimConfig {
     pub channel_capacity: usize,
     /// Hard cycle limit; exceeding it is an error.
     pub max_cycles: u64,
+    /// Collect a per-node firing/stall profile ([`SimResult::profile`]).
+    /// Off by default: the uninstrumented hot path pays only a branch.
+    pub profile: bool,
+    /// Record the event stream for Chrome-trace export
+    /// ([`SimResult::trace`]). Substantially more memory than `profile`.
+    pub trace: bool,
 }
 
 impl Default for SimConfig {
@@ -43,6 +51,8 @@ impl Default for SimConfig {
             lsq_size: 16,
             channel_capacity: 2,
             max_cycles: 200_000_000,
+            profile: false,
+            trace: false,
         }
     }
 }
@@ -51,6 +61,13 @@ impl SimConfig {
     /// A perfect-memory configuration (useful for functional tests).
     pub fn perfect() -> Self {
         SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() }
+    }
+
+    /// This configuration with profiling (and optionally tracing) enabled.
+    pub fn with_observability(mut self, profile: bool, trace: bool) -> Self {
+        self.profile = profile;
+        self.trace = trace;
+        self
     }
 }
 
@@ -66,13 +83,70 @@ pub struct SimResult {
     pub stats: MemStats,
     /// Total node firings — a proxy for dynamic operation count.
     pub fired: u64,
+    /// Per-node firing/stall profile ([`SimConfig::profile`]).
+    pub profile: Option<SimProfile>,
+    /// Recorded event stream ([`SimConfig::trace`]).
+    pub trace: Option<Trace>,
+}
+
+impl SimResult {
+    /// Serializes the aggregate simulation outcome in the shared
+    /// `cash-stats-v1` JSON dialect (stable key order, no whitespace).
+    /// Per-node profiles and traces are exported separately
+    /// ([`SimProfile::to_json`], [`Trace::to_chrome_json`]).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ret\":{},\"cycles\":{},\"fired\":{},\"mem\":{}}}",
+            self.ret.map_or("null".to_string(), |v| v.to_string()),
+            self.cycles,
+            self.fired,
+            self.stats.to_json(),
+        )
+    }
+}
+
+/// One node that could not make progress when a deadlock was declared:
+/// which input ports already held a value and which were still missing,
+/// with the value class (data vs. predicate vs. token) of each missing
+/// port. An empty `missing` list means the node was ready to fire but
+/// blocked on consumer channel space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedNode {
+    /// The stuck node.
+    pub node: NodeId,
+    /// Short operation label (e.g. `"load"`, `"eta"`).
+    pub op: String,
+    /// Input ports whose value had arrived.
+    pub have: Vec<u16>,
+    /// Input ports still waiting, with the class each carries.
+    pub missing: Vec<(u16, VClass)>,
+}
+
+impl fmt::Display for BlockedNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.missing.is_empty() {
+            return write!(f, "{}({}) ready but blocked on output space", self.node, self.op);
+        }
+        write!(f, "{}({}) waiting on", self.node, self.op)?;
+        for (i, (port, class)) in self.missing.iter().enumerate() {
+            let kind = match class {
+                VClass::Data => "data",
+                VClass::Pred => "pred",
+                VClass::Token => "token",
+            };
+            write!(f, "{} {kind}@{port}", if i == 0 { "" } else { "," })?;
+        }
+        Ok(())
+    }
 }
 
 /// Why a simulation failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// Nothing can fire, nothing is in flight, and no return has happened.
-    Deadlock { cycle: u64 },
+    /// `blocked` reports every node with partial inputs and what it was
+    /// waiting for (see [`BlockedNode`]).
+    Deadlock { cycle: u64, blocked: Vec<BlockedNode> },
     /// The cycle limit was reached (often an infinite source-level loop).
     MaxCycles { limit: u64 },
     /// A `Param` node had no corresponding argument.
@@ -82,7 +156,20 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Deadlock { cycle } => write!(f, "dataflow deadlock at cycle {cycle}"),
+            SimError::Deadlock { cycle, blocked } => {
+                write!(f, "dataflow deadlock at cycle {cycle}")?;
+                if !blocked.is_empty() {
+                    write!(f, " ({} blocked node(s):", blocked.len())?;
+                    for b in blocked.iter().take(4) {
+                        write!(f, " {b};")?;
+                    }
+                    if blocked.len() > 4 {
+                        write!(f, " …")?;
+                    }
+                    write!(f, ")")?;
+                }
+                Ok(())
+            }
             SimError::MaxCycles { limit } => write!(f, "exceeded {limit} simulated cycles"),
             SimError::MissingArgument { index } => {
                 write!(f, "no argument supplied for parameter {index}")
@@ -107,8 +194,11 @@ pub fn simulate(
     Executor::new(graph, machine, args, config)?.run()
 }
 
-/// Diagnostic: runs the graph and, on deadlock, returns a report of every
-/// node with partially-filled inputs (which input ports are waiting).
+/// Diagnostic: runs the graph and, on failure, returns a textual dump of
+/// the stuck state alongside the error. The structured per-node blockage
+/// report also travels *inside* [`SimError::Deadlock`] itself, so plain
+/// [`simulate`] callers get the same information; this entry point adds
+/// FIFO depths and token-generator credit state for debugging.
 pub fn diagnose(
     graph: &Graph,
     machine: &mut Machine,
@@ -116,61 +206,26 @@ pub fn diagnose(
     config: &SimConfig,
 ) -> Result<SimResult, (SimError, String)> {
     let mut ex = Executor::new(graph, machine, args, config).map_err(|e| (e, String::new()))?;
-    let run = {
-        // Run by stealing the loop: reuse `run` through a clone-free call.
-        // (Executor::run consumes self; replicate the outcome by calling it
-        // and reconstructing the report from the graph on error.)
-        let report_fifos = |ex: &Executor<'_>| {
-            use std::fmt::Write;
-            let mut s = String::new();
-            for id in ex.g.live_ids() {
-                let nin = ex.g.num_inputs(id);
-                if nin == 0 {
-                    continue;
+    loop {
+        match ex.step_once() {
+            Ok(Some(r)) => break Ok(r),
+            Ok(None) => continue,
+            Err(e) => {
+                use std::fmt::Write;
+                let mut s = String::new();
+                for b in ex.blocked_nodes() {
+                    let lens: Vec<usize> = (0..ex.g.num_inputs(b.node))
+                        .map(|p| ex.fifos[b.node.index()][p].len())
+                        .collect();
+                    let _ = writeln!(s, "{b}, fifo lens {lens:?}");
                 }
-                let mut have = Vec::new();
-                let mut miss = Vec::new();
-                for p in 0..nin as u16 {
-                    if ex.avail(id, p) {
-                        have.push(p);
-                    } else {
-                        miss.push(p);
-                    }
+                for (id, st) in &ex.tokengen {
+                    let _ = writeln!(s, "{id} TK credits={} queued={:?}", st.credits, st.queue);
                 }
-                let lens: Vec<usize> =
-                    (0..nin).map(|p| ex.fifos[id.index()][p].len()).collect();
-                if miss.is_empty() && nin > 0 {
-                    // Ready but not fired: must be blocked on output space.
-                    let _ = writeln!(
-                        s,
-                        "{id} READY-BLOCKED fifo lens {lens:?}"
-                    );
-                } else if !have.is_empty() {
-                    let _ = writeln!(
-                        s,
-                        "{id}: have {have:?}, waiting on {miss:?}, lens {lens:?}"
-                    );
-                }
-            }
-            for (id, st) in &ex.tokengen {
-                let _ = writeln!(s, "{id} TK credits={} queued={:?}", st.credits, st.queue);
-            }
-            s
-        };
-        // Inline variant of run() that can inspect state on failure.
-        loop {
-            let step = ex.step_once();
-            match step {
-                Ok(Some(r)) => break Ok(r),
-                Ok(None) => continue,
-                Err(e) => {
-                    let dump = report_fifos(&ex);
-                    break Err((e, dump));
-                }
+                break Err((e, s));
             }
         }
-    };
-    run
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -187,6 +242,8 @@ struct MemRequest {
     addr: u64,
     value: i64, // store data
     is_store: bool,
+    /// Cycle the request entered the LSQ queue (for port-stall profiling).
+    enqueued: u64,
 }
 
 struct TokenGenState {
@@ -229,6 +286,13 @@ struct Executor<'a> {
     now: u64,
     fired: u64,
     result: Option<(Option<i64>, u64)>,
+    /// Per-node profile, allocated only when `config.profile` is set.
+    prof: Option<Vec<NodeProfile>>,
+    /// Open stall window per node: (start cycle, cause). Only allocated
+    /// when profiling.
+    stall_since: Vec<Option<(u64, StallCause)>>,
+    /// Recorded event stream, allocated only when `config.trace` is set.
+    trace: Option<Vec<TraceEvent>>,
 }
 
 /// Orderable wrapper so the heap can hold events (events are not `Ord`).
@@ -262,11 +326,7 @@ impl<'a> Executor<'a> {
         let n = g.len();
         let mut fifos = Vec::with_capacity(n);
         for id in g.ids() {
-            let nin = if matches!(g.kind(id), NodeKind::Removed) {
-                0
-            } else {
-                g.num_inputs(id)
-            };
+            let nin = if matches!(g.kind(id), NodeKind::Removed) { 0 } else { g.num_inputs(id) };
             fifos.push(vec![VecDeque::new(); nin]);
         }
         // Sticky propagation over topological order.
@@ -287,14 +347,12 @@ impl<'a> Executor<'a> {
                         _ => None,
                     }
                 }
-                NodeKind::UnOp { op, ty } => g
-                    .input(id, 0)
-                    .and_then(|i| sticky_of(&sticky, i.src))
-                    .map(|a| op.eval(ty, a)),
-                NodeKind::Cast { ty } => g
-                    .input(id, 0)
-                    .and_then(|i| sticky_of(&sticky, i.src))
-                    .map(|a| ty.normalize(a)),
+                NodeKind::UnOp { op, ty } => {
+                    g.input(id, 0).and_then(|i| sticky_of(&sticky, i.src)).map(|a| op.eval(ty, a))
+                }
+                NodeKind::Cast { ty } => {
+                    g.input(id, 0).and_then(|i| sticky_of(&sticky, i.src)).map(|a| ty.normalize(a))
+                }
                 NodeKind::Mux { ty } => {
                     let nin = g.num_inputs(id);
                     let mut vals = Vec::with_capacity(nin);
@@ -336,19 +394,15 @@ impl<'a> Executor<'a> {
                 continue;
             }
             let all = (0..nin as u16).all(|p| {
-                g.input(id, p)
-                    .map(|i| sticky_of(&sticky, i.src).is_some())
-                    .unwrap_or(false)
+                g.input(id, p).map(|i| sticky_of(&sticky, i.src).is_some()).unwrap_or(false)
             });
             once_only[id.index()] = all;
         }
         let mut tokengen = HashMap::new();
         for id in g.live_ids() {
             if let NodeKind::TokenGen { n } = g.kind(id) {
-                tokengen.insert(
-                    id,
-                    TokenGenState { credits: u64::from(*n), queue: VecDeque::new() },
-                );
+                tokengen
+                    .insert(id, TokenGenState { credits: u64::from(*n), queue: VecDeque::new() });
             }
         }
         let mut ex = Executor {
@@ -371,12 +425,17 @@ impl<'a> Executor<'a> {
             now: 0,
             fired: 0,
             result: None,
+            prof: config.profile.then(|| vec![NodeProfile::default(); n]),
+            stall_since: if config.profile { vec![None; n] } else { Vec::new() },
+            trace: config.trace.then(Vec::new),
         };
         // Kick off: initial tokens fire at cycle 0; every node with only
         // sticky inputs is examined once.
         for id in g.live_ids() {
             match g.kind(id) {
-                NodeKind::InitialToken => ex.push_event(0, Ev::Deliver { node: id, port: 0, value: 1 }),
+                NodeKind::InitialToken => {
+                    ex.push_event(0, Ev::Deliver { node: id, port: 0, value: 1 })
+                }
                 _ => ex.mark_dirty(id),
             }
         }
@@ -417,7 +476,16 @@ impl<'a> Executor<'a> {
                 let Reverse((_, _, EvBox(ev))) = self.events.pop().expect("peeked");
                 match ev {
                     Ev::Deliver { node, port, value } => self.deliver(node, port, value),
-                    Ev::LsqRelease => self.lsq_in_flight -= 1,
+                    Ev::LsqRelease => {
+                        self.lsq_in_flight -= 1;
+                        if let Some(tr) = self.trace.as_mut() {
+                            tr.push(TraceEvent::Lsq {
+                                cycle: self.now,
+                                in_flight: self.lsq_in_flight,
+                                queued: self.lsq_queue.len() as u32,
+                            });
+                        }
+                    }
                 }
             }
             // 2. Issue LSQ requests for this cycle.
@@ -437,12 +505,7 @@ impl<'a> Executor<'a> {
                 }
             }
             if let Some((ret, cycles)) = self.result {
-                return Ok(Some(SimResult {
-                    ret,
-                    cycles,
-                    stats: self.machine.stats.clone(),
-                    fired: self.fired,
-                }));
+                return Ok(Some(self.finish(ret, cycles)));
             }
             // 4. Advance time.
             let next_event = self.events.peek().map(|Reverse((t, _, _))| *t);
@@ -452,7 +515,12 @@ impl<'a> Executor<'a> {
             } else {
                 match next_event {
                     Some(t) => t.max(self.now + 1),
-                    None => return Err(SimError::Deadlock { cycle: self.now }),
+                    None => {
+                        return Err(SimError::Deadlock {
+                            cycle: self.now,
+                            blocked: self.blocked_nodes(),
+                        })
+                    }
                 }
             };
             if next > self.config.max_cycles {
@@ -510,9 +578,8 @@ impl<'a> Executor<'a> {
         if let Some(v) = sticky_of(&self.sticky, inp.src) {
             return v;
         }
-        let (_, v) = self.fifos[id.index()][port as usize]
-            .pop_front()
-            .expect("pop of available input");
+        let (_, v) =
+            self.fifos[id.index()][port as usize].pop_front().expect("pop of available input");
         // Space freed: the producer might be blocked on it.
         self.mark_dirty(inp.src.node);
         v
@@ -565,15 +632,149 @@ impl<'a> Executor<'a> {
         self.push_event(t2, Ev::Deliver { node: id, port, value });
     }
 
+    /// Builds the final [`SimResult`], closing open stall windows and
+    /// packaging the profile/trace when enabled.
+    fn finish(&mut self, ret: Option<i64>, cycles: u64) -> SimResult {
+        let profile = self.prof.take().map(|mut nodes| {
+            for (i, open) in self.stall_since.iter_mut().enumerate() {
+                if let Some((start, cause)) = open.take() {
+                    nodes[i].add_stall(cause, cycles.saturating_sub(start));
+                }
+            }
+            SimProfile { nodes, cycles }
+        });
+        let trace = self.trace.take().map(|events| Trace { events });
+        SimResult {
+            ret,
+            cycles,
+            stats: self.machine.stats.clone(),
+            fired: self.fired,
+            profile,
+            trace,
+        }
+    }
+
+    /// Every node that holds partial inputs (or is ready but blocked on
+    /// output space): the deadlock report. Nodes in their quiescent state —
+    /// no values queued anywhere — are not "blocked", they are done.
+    fn blocked_nodes(&self) -> Vec<BlockedNode> {
+        let mut out = Vec::new();
+        for id in self.g.live_ids() {
+            if self.sticky[id.index()].is_some()
+                || (self.once_only[id.index()] && self.has_fired[id.index()])
+            {
+                continue;
+            }
+            let nin = self.g.num_inputs(id);
+            if nin == 0 {
+                continue;
+            }
+            let mut have = Vec::new();
+            let mut missing = Vec::new();
+            let mut queued = false;
+            for p in 0..nin as u16 {
+                if self.avail(id, p) {
+                    have.push(p);
+                    queued |= !self.fifos[id.index()][p as usize].is_empty();
+                } else {
+                    missing.push((p, self.g.kind(id).input_class(p)));
+                }
+            }
+            // Partially supplied (anything available — a queued value or a
+            // sticky source — while something is missing), or fully ready
+            // yet unable to fire (output space). Sticky availability
+            // counts here, unlike in stall profiling: in a deadlock the
+            // circuit is permanently stuck, so a node waiting next to a
+            // forever-valid constant is exactly what to report.
+            if (!have.is_empty() && !missing.is_empty()) || (missing.is_empty() && queued) {
+                out.push(BlockedNode { node: id, op: kind_label(self.g.kind(id)), have, missing });
+            }
+        }
+        out
+    }
+
+    /// Classifies why `id` could not fire just now, or `None` if it is
+    /// simply idle. Attribution picks the first missing input port — an
+    /// approximation for variadic joins, exact for fixed-arity operators.
+    fn classify_stall(&self, id: NodeId) -> Option<StallCause> {
+        if self.sticky[id.index()].is_some()
+            || (self.once_only[id.index()] && self.has_fired[id.index()])
+        {
+            return None;
+        }
+        let nin = self.g.num_inputs(id);
+        if nin == 0 {
+            return None;
+        }
+        let mut queued = false;
+        let mut missing = None;
+        for p in 0..nin as u16 {
+            if self.avail(id, p) {
+                queued |= !self.fifos[id.index()][p as usize].is_empty();
+            } else if missing.is_none() {
+                missing = Some(p);
+            }
+        }
+        match missing {
+            Some(p) => {
+                if !queued {
+                    return None; // nothing has arrived: idle, not stalled
+                }
+                Some(match self.g.kind(id).input_class(p) {
+                    VClass::Data => StallCause::DataInput,
+                    VClass::Pred => StallCause::PredInput,
+                    VClass::Token => StallCause::TokenInput,
+                })
+            }
+            None if queued => Some(StallCause::OutputSpace),
+            None => None,
+        }
+    }
+
+    /// Profiling bookkeeping for a successful firing of `id`.
+    fn note_fire(&mut self, id: NodeId) {
+        let now = self.now;
+        let prof = self.prof.as_mut().expect("note_fire only when profiling");
+        let p = &mut prof[id.index()];
+        p.fires += 1;
+        if p.first_fire.is_none() {
+            p.first_fire = Some(now);
+        }
+        p.last_fire = Some(now);
+        if let Some((start, cause)) = self.stall_since[id.index()].take() {
+            p.add_stall(cause, now.saturating_sub(start));
+        }
+    }
+
+    /// Profiling bookkeeping for a failed firing attempt: opens a stall
+    /// window (once) attributed to whatever is holding the node up.
+    fn note_stall(&mut self, id: NodeId) {
+        if self.stall_since[id.index()].is_some() {
+            return;
+        }
+        if let Some(cause) = self.classify_stall(id) {
+            self.stall_since[id.index()] = Some((self.now, cause));
+        }
+    }
+
     fn try_fire(&mut self, id: NodeId) {
         // Loop: a node may be able to fire several times per cycle when
         // multiple waves are queued; we fire at most a few to let others go.
         for _ in 0..4 {
             if !self.fire_once(id) {
+                if self.prof.is_some() {
+                    self.note_stall(id);
+                }
                 return;
             }
             self.fired += 1;
             self.has_fired[id.index()] = true;
+            if self.prof.is_some() {
+                self.note_fire(id);
+            }
+            if let Some(tr) = self.trace.as_mut() {
+                tr.push(TraceEvent::Fire { node: id, cycle: self.now });
+            }
         }
         // Still more queued? Come back later this cycle.
         self.mark_dirty(id);
@@ -719,6 +920,7 @@ impl<'a> Executor<'a> {
                         addr,
                         value: 0,
                         is_store: false,
+                        enqueued: self.now,
                     });
                     let _ = ty;
                 }
@@ -746,6 +948,7 @@ impl<'a> Executor<'a> {
                         addr,
                         value,
                         is_store: true,
+                        enqueued: self.now,
                     });
                 }
                 true
@@ -829,6 +1032,11 @@ impl<'a> Executor<'a> {
         {
             let req = self.lsq_queue.pop_front().expect("nonempty queue");
             let lat = self.machine.access_cycles(req.addr, req.is_store);
+            if let Some(prof) = self.prof.as_mut() {
+                // Port contention: cycles the request sat queued.
+                prof[req.node.index()]
+                    .add_stall(StallCause::LsqPort, self.now.saturating_sub(req.enqueued));
+            }
             if req.is_store {
                 let ty = match self.g.kind(req.node) {
                     NodeKind::Store { ty, .. } => ty.clone(),
@@ -850,6 +1058,20 @@ impl<'a> Executor<'a> {
             }
             self.lsq_in_flight += 1;
             self.push_event(self.now + lat, Ev::LsqRelease);
+            if let Some(tr) = self.trace.as_mut() {
+                tr.push(TraceEvent::Mem {
+                    node: req.node,
+                    cycle: self.now,
+                    latency: lat,
+                    addr: req.addr,
+                    is_store: req.is_store,
+                });
+                tr.push(TraceEvent::Lsq {
+                    cycle: self.now,
+                    in_flight: self.lsq_in_flight,
+                    queued: self.lsq_queue.len() as u32,
+                });
+            }
             issued += 1;
         }
     }

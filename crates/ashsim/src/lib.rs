@@ -41,9 +41,13 @@
 
 pub mod exec;
 pub mod memory;
+pub mod profile;
+pub mod trace;
 
-pub use exec::{diagnose, simulate, SimConfig, SimError, SimResult};
+pub use exec::{diagnose, simulate, BlockedNode, SimConfig, SimError, SimResult};
 pub use memory::{CacheParams, Machine, MemStats, MemSystem};
+pub use profile::{NodeProfile, SimProfile, StallCause};
+pub use trace::{Trace, TraceEvent};
 
 #[cfg(test)]
 mod tests {
@@ -205,11 +209,7 @@ mod tests {
         let lt = g.add_node(NodeKind::BinOp { op: BinOp::Lt, ty: Type::Bool }, 2, 0);
         g.connect(Src::of(l), lt, 0);
         g.connect(Src::of(zero), lt, 1);
-        let eta = g.add_node(
-            NodeKind::Eta { vc: pegasus::VClass::Token, ty: Type::Bool },
-            2,
-            0,
-        );
+        let eta = g.add_node(NodeKind::Eta { vc: pegasus::VClass::Token, ty: Type::Bool }, 2, 0);
         g.connect(Src::token_of_load(l), eta, 0);
         g.connect(Src::of(lt), eta, 1);
         let ret = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);
@@ -249,8 +249,7 @@ mod tests {
         // 1 port the 16 accesses serialize at the LSQ, with 4 they overlap.
         let mut module = Module::new();
         let oa = module.add_object(
-            MemObject::global("a", Type::int(32), 8)
-                .with_init((1..=8).collect::<Vec<i64>>()),
+            MemObject::global("a", Type::int(32), 8).with_init((1..=8).collect::<Vec<i64>>()),
         );
         let ob = module.add_object(MemObject::global("b", Type::int(32), 8));
         let mut f = Function::new("main", Type::int(32));
@@ -342,12 +341,7 @@ mod tests {
         b.instrs.push(Instr::Const { dst: four, value: 4 });
         b.instrs.push(Instr::Bin { dst: off, op: BinOp::Mul, a: i64r, b: four });
         b.instrs.push(Instr::Bin { dst: addr, op: BinOp::Add, a: base, b: off });
-        b.instrs.push(Instr::Store {
-            addr,
-            value: i,
-            ty: Type::int(32),
-            may: ObjectSet::only(oa),
-        });
+        b.instrs.push(Instr::Store { addr, value: i, ty: Type::int(32), may: ObjectSet::only(oa) });
         b.instrs.push(Instr::Const { dst: one, value: 1 });
         b.instrs.push(Instr::Bin { dst: i, op: BinOp::Add, a: i, b: one });
         f.block_mut(body).term = Terminator::Jump(head);

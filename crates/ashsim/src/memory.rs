@@ -60,7 +60,8 @@ impl Default for MemSystem {
     }
 }
 
-/// Timing/occupancy statistics of one simulation.
+/// Timing/occupancy statistics of one simulation, with the per-level
+/// cache and TLB hit/miss breakdown of the §7.3 hierarchy.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Loads that actually accessed memory (predicate true).
@@ -73,6 +74,36 @@ pub struct MemStats {
     pub l2_misses: u64,
     pub tlb_hits: u64,
     pub tlb_misses: u64,
+}
+
+impl MemStats {
+    /// L1 hit rate over all accesses that reached the hierarchy (0 when
+    /// running on perfect memory).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l1_hits as f64 / total as f64
+        }
+    }
+
+    /// Serializes in the shared `cash-stats-v1` JSON dialect (stable key
+    /// order, no whitespace).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"loads\":{},\"stores\":{},\"l1\":{{\"hits\":{},\"misses\":{}}},\
+             \"l2\":{{\"hits\":{},\"misses\":{}}},\"tlb\":{{\"hits\":{},\"misses\":{}}}}}",
+            self.loads,
+            self.stores,
+            self.l1_hits,
+            self.l1_misses,
+            self.l2_hits,
+            self.l2_misses,
+            self.tlb_hits,
+            self.tlb_misses,
+        )
+    }
 }
 
 /// One set-associative cache level with LRU replacement (timing only).
@@ -186,11 +217,7 @@ impl Machine {
             MemSystem::Hierarchy(p) => (
                 Some(Cache::new(p.l1_bytes, p.l1_ways, p.line_bytes)),
                 Some(Cache::new(p.l2_bytes, p.l2_ways, p.line_bytes)),
-                Some(Tlb {
-                    pages: Vec::new(),
-                    entries: p.tlb_entries,
-                    page_bytes: p.page_bytes,
-                }),
+                Some(Tlb { pages: Vec::new(), entries: p.tlb_entries, page_bytes: p.page_bytes }),
             ),
         };
         Machine { bytes, layout, system, l1, l2, tlb, stats: MemStats::default() }

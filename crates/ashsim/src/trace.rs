@@ -1,0 +1,130 @@
+//! Chrome trace-event export (Perfetto / `chrome://tracing`).
+//!
+//! When [`SimConfig::trace`](crate::SimConfig) is set, the executor records
+//! the raw event stream of the run — node firings, memory transactions with
+//! their latencies, and LSQ occupancy changes — and
+//! [`Trace::to_chrome_json`] renders it in the Chrome trace-event JSON
+//! format, loadable directly in [Perfetto](https://ui.perfetto.dev).
+//!
+//! Layout: one "process" per event family (`circuit`, `memory`), node
+//! firings as complete (`"X"`) slices on a per-hyperblock track, memory
+//! transactions as slices whose duration is the access latency, and LSQ
+//! occupancy as counter (`"C"`) tracks. Timestamps are simulated cycles.
+//!
+//! The simulator is deterministic and events are appended in scheduler
+//! order, so two runs of the same program produce byte-identical JSON —
+//! which is what makes golden tests of this exporter possible.
+
+use crate::profile::kind_label;
+use pegasus::{Graph, NodeId};
+use std::fmt::Write;
+
+/// One recorded simulation event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node fired at `cycle`.
+    Fire { node: NodeId, cycle: u64 },
+    /// A memory transaction issued at `cycle` occupying `latency` cycles.
+    Mem { node: NodeId, cycle: u64, latency: u64, addr: u64, is_store: bool },
+    /// LSQ occupancy after a change: requests holding slots and requests
+    /// still queued for a port.
+    Lsq { cycle: u64, in_flight: u32, queued: u32 },
+}
+
+/// The ordered event stream of one simulation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the trace empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Renders the Chrome trace-event JSON document. `graph` supplies node
+    /// labels and hyperblock track assignment; it must be the graph the
+    /// simulation ran on.
+    pub fn to_chrome_json(&self, graph: &Graph) -> String {
+        let mut s = String::with_capacity(64 + self.events.len() * 96);
+        s.push_str("{\"traceEvents\":[");
+        // Process metadata first so Perfetto names the tracks.
+        s.push_str(
+            "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"args\":{\"name\":\"circuit\"}},\
+             {\"ph\":\"M\",\"name\":\"process_name\",\"pid\":2,\"args\":{\"name\":\"memory\"}}",
+        );
+        for ev in &self.events {
+            s.push(',');
+            match *ev {
+                TraceEvent::Fire { node, cycle } => {
+                    let hb = graph.hb(node);
+                    let tid = if hb == u32::MAX { 0 } else { hb + 1 };
+                    let _ = write!(
+                        s,
+                        "{{\"name\":\"{} {}\",\"cat\":\"fire\",\"ph\":\"X\",\"ts\":{cycle},\
+                         \"dur\":1,\"pid\":1,\"tid\":{tid},\"args\":{{\"node\":{}}}}}",
+                        kind_label(graph.kind(node)),
+                        node,
+                        node.0,
+                    );
+                }
+                TraceEvent::Mem { node, cycle, latency, addr, is_store } => {
+                    let kind = if is_store { "store" } else { "load" };
+                    let _ = write!(
+                        s,
+                        "{{\"name\":\"{kind} {node}\",\"cat\":\"mem\",\"ph\":\"X\",\"ts\":{cycle},\
+                         \"dur\":{latency},\"pid\":2,\"tid\":1,\
+                         \"args\":{{\"addr\":{addr},\"node\":{}}}}}",
+                        node.0,
+                    );
+                }
+                TraceEvent::Lsq { cycle, in_flight, queued } => {
+                    let _ = write!(
+                        s,
+                        "{{\"name\":\"lsq\",\"cat\":\"lsq\",\"ph\":\"C\",\"ts\":{cycle},\
+                         \"pid\":2,\"tid\":0,\
+                         \"args\":{{\"in_flight\":{in_flight},\"queued\":{queued}}}}}",
+                    );
+                }
+            }
+        }
+        s.push_str("],\"displayTimeUnit\":\"ns\",\"otherData\":{\"schema\":\"cash-trace-v1\"}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::types::Type;
+    use pegasus::{NodeKind, Src};
+
+    #[test]
+    fn chrome_json_is_well_formed_and_ordered() {
+        let mut g = Graph::new();
+        let c = g.add_node(NodeKind::Const { value: 1, ty: Type::int(32) }, 0, 0);
+        let u = g.add_node(NodeKind::UnOp { op: cfgir::types::UnOp::Neg, ty: Type::int(32) }, 1, 0);
+        g.connect(Src::of(c), u, 0);
+        let tr = Trace {
+            events: vec![
+                TraceEvent::Fire { node: u, cycle: 2 },
+                TraceEvent::Mem { node: c, cycle: 3, latency: 4, addr: 0x1000, is_store: false },
+                TraceEvent::Lsq { cycle: 3, in_flight: 1, queued: 0 },
+            ],
+        };
+        let json = tr.to_chrome_json(&g);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"addr\":4096"));
+        assert!(json.contains("cash-trace-v1"));
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(json, tr.to_chrome_json(&g));
+    }
+}

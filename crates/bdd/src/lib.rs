@@ -577,9 +577,11 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
+    //! Deterministic randomized testing: formulas are generated from a
+    //! seeded xorshift PRNG, so failures are reproducible without any
+    //! external property-testing dependency.
     use super::*;
-    use proptest::prelude::*;
 
     /// A tiny formula AST for round-trip testing against direct evaluation.
     #[derive(Debug, Clone)]
@@ -591,19 +593,42 @@ mod proptests {
         Xor(Box<Formula>, Box<Formula>),
     }
 
-    fn formula() -> impl Strategy<Value = Formula> {
-        let leaf = (0u32..6).prop_map(Formula::Var);
-        leaf.prop_recursive(5, 64, 2, |inner| {
-            prop_oneof![
-                inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-                (inner.clone(), inner.clone())
-                    .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
-            ]
-        })
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            // xorshift64*: deterministic, seed-stable across platforms.
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n
+        }
+    }
+
+    fn gen_formula(rng: &mut Rng, depth: u32) -> Formula {
+        let choice = if depth == 0 { 0 } else { rng.below(9) };
+        match choice {
+            0..=3 => Formula::Var(rng.below(6) as u32),
+            4 => Formula::Not(Box::new(gen_formula(rng, depth - 1))),
+            5 | 6 => Formula::And(
+                Box::new(gen_formula(rng, depth - 1)),
+                Box::new(gen_formula(rng, depth - 1)),
+            ),
+            7 => Formula::Or(
+                Box::new(gen_formula(rng, depth - 1)),
+                Box::new(gen_formula(rng, depth - 1)),
+            ),
+            _ => Formula::Xor(
+                Box::new(gen_formula(rng, depth - 1)),
+                Box::new(gen_formula(rng, depth - 1)),
+            ),
+        }
     }
 
     fn build(m: &mut BddManager, f: &Formula) -> Bdd {
@@ -638,43 +663,54 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn bdd_matches_truth_table(f in formula()) {
+    #[test]
+    fn bdd_matches_truth_table() {
+        let mut rng = Rng(0x5eed_0001);
+        for case in 0..256 {
+            let f = gen_formula(&mut rng, 5);
             let mut m = BddManager::new();
             let b = build(&mut m, &f);
             for env in 0u32..64 {
                 let expect = eval_direct(&f, env);
                 let got = m.eval(b, &|v| env & (1 << v) != 0);
-                prop_assert_eq!(expect, got, "env={:#b}", env);
+                assert_eq!(expect, got, "case {case}, env={env:#b}, formula {f:?}");
             }
         }
+    }
 
-        #[test]
-        fn equivalent_formulas_share_handles(f in formula()) {
-            // f | f == f, f & true == f, !(!f) == f
+    #[test]
+    fn equivalent_formulas_share_handles() {
+        // f | f == f, f & true == f, !(!f) == f
+        let mut rng = Rng(0x5eed_0002);
+        for case in 0..256 {
+            let f = gen_formula(&mut rng, 5);
             let mut m = BddManager::new();
             let b = build(&mut m, &f);
             let orr = m.or(b, b);
-            prop_assert_eq!(orr, b);
+            assert_eq!(orr, b, "case {case}");
             let andt = m.and(b, Bdd::TRUE);
-            prop_assert_eq!(andt, b);
+            assert_eq!(andt, b, "case {case}");
             let nn = m.not(b);
             let nnn = m.not(nn);
-            prop_assert_eq!(nnn, b);
+            assert_eq!(nnn, b, "case {case}");
         }
+    }
 
-        #[test]
-        fn implication_is_reflexive_and_monotone(f in formula(), g in formula()) {
+    #[test]
+    fn implication_is_reflexive_and_monotone() {
+        let mut rng = Rng(0x5eed_0003);
+        for case in 0..128 {
+            let f = gen_formula(&mut rng, 5);
+            let g = gen_formula(&mut rng, 5);
             let mut m = BddManager::new();
             let a = build(&mut m, &f);
             let b = build(&mut m, &g);
-            prop_assert!(m.implies(a, a));
+            assert!(m.implies(a, a), "case {case}");
             let ab = m.and(a, b);
-            prop_assert!(m.implies(ab, a));
-            prop_assert!(m.implies(ab, b));
+            assert!(m.implies(ab, a), "case {case}");
+            assert!(m.implies(ab, b), "case {case}");
             let aob = m.or(a, b);
-            prop_assert!(m.implies(a, aob));
+            assert!(m.implies(a, aob), "case {case}");
         }
     }
 }

@@ -2,39 +2,27 @@
 //! kernel and per optimization level (§7.1 discusses compile time).
 
 use cash::{Compiler, OptLevel};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cash_bench::microbench::bench;
+use std::hint::black_box;
 
-fn bench_compile_levels(c: &mut Criterion) {
+fn bench_compile_levels() {
     let w = workloads::by_name("adpcm_e").expect("kernel exists");
-    let mut g = c.benchmark_group("compile/adpcm_e");
     for level in OptLevel::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(level), &level, |b, &level| {
-            b.iter(|| {
-                Compiler::new()
-                    .level(level)
-                    .compile(std::hint::black_box(w.source))
-                    .expect("compiles")
-            });
+        bench("compile/adpcm_e", &level.to_string(), || {
+            Compiler::new().level(level).compile(black_box(w.source)).expect("compiles")
         });
     }
-    g.finish();
 }
 
-fn bench_compile_suite(c: &mut Criterion) {
-    let mut g = c.benchmark_group("compile/full-suite");
-    g.sample_size(10);
+fn bench_compile_suite() {
     for w in workloads::suite().into_iter().take(6) {
-        g.bench_function(w.name, |b| {
-            b.iter(|| {
-                Compiler::new()
-                    .level(OptLevel::Full)
-                    .compile(std::hint::black_box(w.source))
-                    .expect("compiles")
-            });
+        bench("compile/full-suite", w.name, || {
+            Compiler::new().level(OptLevel::Full).compile(black_box(w.source)).expect("compiles")
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_compile_levels, bench_compile_suite);
-criterion_main!(benches);
+fn main() {
+    bench_compile_levels();
+    bench_compile_suite();
+}

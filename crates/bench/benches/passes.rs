@@ -2,8 +2,8 @@
 //! a freshly built coarse graph (the ablation axis of §7.3's "different
 //! sets of optimizations" experiment).
 
+use cash_bench::microbench::bench;
 use cfgir::AliasOracle;
-use criterion::{criterion_group, criterion_main, Criterion};
 
 fn build_coarse() -> (cfgir::Module, pegasus::Graph) {
     let w = workloads::by_name("adpcm_e").expect("kernel exists");
@@ -20,58 +20,27 @@ fn build_coarse() -> (cfgir::Module, pegasus::Graph) {
     (module, g)
 }
 
-fn bench_passes(c: &mut Criterion) {
+fn main() {
     let (module, g0) = build_coarse();
-    let mut grp = c.benchmark_group("passes/adpcm_e");
-    grp.sample_size(20);
+    let grp = "passes/adpcm_e";
 
-    grp.bench_function("scalar_simplify", |b| {
-        b.iter_batched(
-            || g0.clone(),
-            |mut g| opt::scalar::simplify(&mut g),
-            criterion::BatchSize::SmallInput,
-        );
+    bench(grp, "scalar_simplify", || {
+        let mut g = g0.clone();
+        opt::scalar::simplify(&mut g)
     });
-    grp.bench_function("token_removal", |b| {
-        b.iter_batched(
-            || g0.clone(),
-            |mut g| {
-                let oracle = AliasOracle::new(&module);
-                opt::token_removal::remove_token_edges(
-                    &mut g,
-                    &oracle,
-                    opt::Disambiguation::full(),
-                )
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    bench(grp, "token_removal", || {
+        let mut g = g0.clone();
+        let oracle = AliasOracle::new(&module);
+        opt::token_removal::remove_token_edges(&mut g, &oracle, opt::Disambiguation::full())
     });
-    grp.bench_function("transitive_reduction", |b| {
-        b.iter_batched(
-            || g0.clone(),
-            |mut g| pegasus::transitive_reduce_tokens(&mut g),
-            criterion::BatchSize::SmallInput,
-        );
+    bench(grp, "transitive_reduction", || {
+        let mut g = g0.clone();
+        pegasus::transitive_reduce_tokens(&mut g)
     });
-    grp.bench_function("full_pipeline", |b| {
-        b.iter_batched(
-            || g0.clone(),
-            |mut g| {
-                let oracle = AliasOracle::new(&module);
-                opt::optimize(&mut g, &oracle, &opt::OptLevel::Full.config())
-            },
-            criterion::BatchSize::SmallInput,
-        );
+    bench(grp, "full_pipeline", || {
+        let mut g = g0.clone();
+        let oracle = AliasOracle::new(&module);
+        opt::optimize(&mut g, &oracle, &opt::OptLevel::Full.config())
     });
-    grp.bench_function("reachability", |b| {
-        b.iter_batched(
-            || g0.clone(),
-            |g| pegasus::Reachability::compute(&g).words(),
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    grp.finish();
+    bench(grp, "reachability", || pegasus::Reachability::compute(&g0).words());
 }
-
-criterion_group!(benches, bench_passes);
-criterion_main!(benches);

@@ -1,41 +1,64 @@
 //! Simulator-throughput microbenchmarks: wall-clock cost of self-timed
-//! execution per memory system and per optimization level.
+//! execution per memory system and per optimization level, plus the
+//! guard-rail measurement for the observability layer: simulation with
+//! profiling *disabled* must stay within a few percent of the
+//! pre-instrumentation hot path, and the overhead of enabling it is
+//! reported for the record.
 
 use cash::{MemSystem, OptLevel, SimConfig};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cash_bench::microbench::bench;
+use std::hint::black_box;
 
-fn bench_memory_systems(c: &mut Criterion) {
+fn bench_memory_systems() {
     let w = workloads::by_name("epic_e").expect("kernel exists");
     let p = w.compile(OptLevel::Full).expect("compiles");
-    let mut g = c.benchmark_group("simulate/epic_e");
-    g.sample_size(20);
-    for (name, mem) in [
-        ("perfect", MemSystem::Perfect { latency: 2 }),
-        ("hierarchy", MemSystem::default()),
-    ] {
+    for (name, mem) in
+        [("perfect", MemSystem::Perfect { latency: 2 }), ("hierarchy", MemSystem::default())]
+    {
         let cfg = SimConfig { mem, ..SimConfig::default() };
-        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            b.iter(|| p.simulate(std::hint::black_box(&[w.default_arg]), cfg).unwrap());
-        });
+        bench("simulate/epic_e", name, || p.simulate(black_box(&[w.default_arg]), &cfg).unwrap());
     }
-    g.finish();
 }
 
-fn bench_levels(c: &mut Criterion) {
+fn bench_levels() {
     let w = workloads::by_name("mpeg2_d").expect("kernel exists");
-    let mut g = c.benchmark_group("simulate/mpeg2_d");
-    g.sample_size(20);
     for level in [OptLevel::None, OptLevel::Full] {
         let p = w.compile(level).expect("compiles");
-        g.bench_with_input(BenchmarkId::from_parameter(level), &p, |b, p| {
-            b.iter(|| {
-                p.simulate(std::hint::black_box(&[w.default_arg]), &SimConfig::perfect())
-                    .unwrap()
-            });
+        bench("simulate/mpeg2_d", &level.to_string(), || {
+            p.simulate(black_box(&[w.default_arg]), &SimConfig::perfect()).unwrap()
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_memory_systems, bench_levels);
-criterion_main!(benches);
+/// The acceptance guard for per-node profiling: with `profile: false` the
+/// simulator must not pay for the instrumentation (target: ≤ 5% slowdown
+/// versus the same configuration, which *is* the uninstrumented path), and
+/// the cost of turning profiling and tracing on is measured alongside.
+fn bench_profiling_overhead() {
+    let w = workloads::by_name("epic_e").expect("kernel exists");
+    let p = w.compile(OptLevel::Full).expect("compiles");
+    let plain = SimConfig::perfect();
+    let profiled = SimConfig { profile: true, ..SimConfig::perfect() };
+    let traced = SimConfig { profile: true, trace: true, ..SimConfig::perfect() };
+
+    let off = bench("simulate/observability", "profile-off", || {
+        p.simulate(black_box(&[w.default_arg]), &plain).unwrap()
+    });
+    let on = bench("simulate/observability", "profile-on", || {
+        p.simulate(black_box(&[w.default_arg]), &profiled).unwrap()
+    });
+    let full = bench("simulate/observability", "profile+trace", || {
+        p.simulate(black_box(&[w.default_arg]), &traced).unwrap()
+    });
+    println!(
+        "observability overhead: profiling {:+.1}%, profiling+trace {:+.1}%",
+        100.0 * (on.median_ns / off.median_ns - 1.0),
+        100.0 * (full.median_ns / off.median_ns - 1.0),
+    );
+}
+
+fn main() {
+    bench_memory_systems();
+    bench_levels();
+    bench_profiling_overhead();
+}

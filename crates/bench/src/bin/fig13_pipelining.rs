@@ -55,10 +55,7 @@ fn main() {
         ("Fig.13 split rings", OptLevel::Medium),
         ("Fig.14 + full pipelining", OptLevel::Full),
     ];
-    println!(
-        "{:<26} {:>8} {:>9} {:>9} {:>8}",
-        "stage", "rings*", "tokgens", "cycles", "speedup"
-    );
+    println!("{:<26} {:>8} {:>9} {:>9} {:>8}", "stage", "rings*", "tokgens", "cycles", "speedup");
     rule(66);
     let mut base_cycles = None;
     for (name, level) in stages {
@@ -81,15 +78,8 @@ fn main() {
     // The Full stage must have inserted the distance-1 token generator for
     // the b[i+1] -> b[i] dependence.
     let p = Compiler::new().level(OptLevel::Full).compile(SOURCE).unwrap();
-    assert!(
-        p.graph.count_token_gens() >= 1,
-        "Fig.14 requires the distance-1 generator"
-    );
+    assert!(p.graph.count_token_gens() >= 1, "Fig.14 requires the distance-1 generator");
     // And the loop-invariant load of pv is hoisted out of the loop.
-    assert!(
-        p.report.loads_hoisted >= 1,
-        "the *p load must be hoisted (got {:?})",
-        p.report
-    );
+    assert!(p.report.loads_hoisted >= 1, "the *p load must be hoisted (got {:?})", p.report);
     println!("\nPASS: Figures 12-14 structure reproduced");
 }

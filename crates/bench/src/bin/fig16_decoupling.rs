@@ -47,10 +47,7 @@ fn main() {
         let src = source(d);
         let serial = Compiler::new().level(OptLevel::Medium).compile(&src).unwrap();
         let dec = Compiler::new().level(OptLevel::Full).compile(&src).unwrap();
-        assert!(
-            dec.graph.count_token_gens() >= 1,
-            "distance {d} must decouple"
-        );
+        assert!(dec.graph.count_token_gens() >= 1, "distance {d} must decouple");
         let r0 = serial.simulate(&[n], &cfg).unwrap();
         let r1 = dec.simulate(&[n], &cfg).unwrap();
         let want = reference(d, n as usize);
@@ -64,10 +61,7 @@ fn main() {
             r1.cycles,
             speedup(r0.cycles, r1.cycles)
         );
-        assert!(
-            r1.cycles <= r0.cycles,
-            "decoupling must not slow distance {d} down"
-        );
+        assert!(r1.cycles <= r0.cycles, "decoupling must not slow distance {d} down");
     }
     rule(54);
     println!();

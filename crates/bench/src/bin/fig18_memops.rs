@@ -6,25 +6,36 @@
 //! Run with `cargo run -p cash-bench --bin fig18_memops`.
 
 use cash::{OptLevel, SimConfig};
-use cash_bench::harness::{pct, rule, run};
+use cash_bench::harness::{pct, rule, run_compiled, stats_line, write_stats};
 
 fn main() {
     println!("Figure 18: memory operations removed (None -> Full)");
     println!();
     println!(
         "{:<14} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>7} | {:>9} {:>9} {:>7} {:>7}",
-        "kernel", "ld0", "ld1", "ld-red", "st0", "st1", "st-red", "dynld0", "dynld1", "dyn-ld", "dyn-st"
+        "kernel",
+        "ld0",
+        "ld1",
+        "ld-red",
+        "st0",
+        "st1",
+        "st-red",
+        "dynld0",
+        "dynld1",
+        "dyn-ld",
+        "dyn-st"
     );
     rule(110);
     let cfg = SimConfig::perfect();
     let mut tot = [0u64; 8];
+    let mut stats = Vec::new();
     for w in workloads::suite() {
-        let base = w.compile(OptLevel::None).expect("compiles");
-        let full = w.compile(OptLevel::Full).expect("compiles");
+        let (base, rb) = run_compiled(&w, OptLevel::None, &cfg);
+        let (full, rf) = run_compiled(&w, OptLevel::Full, &cfg);
+        stats.push(stats_line("fig18", "perfect", &w, OptLevel::None, &base, &rb));
+        stats.push(stats_line("fig18", "perfect", &w, OptLevel::Full, &full, &rf));
         let (l0, s0) = base.static_memory_ops();
         let (l1, s1) = full.static_memory_ops();
-        let rb = run(&w, OptLevel::None, &cfg);
-        let rf = run(&w, OptLevel::Full, &cfg);
         println!(
             "{:<14} {:>6} {:>6} {:>7} | {:>6} {:>6} {:>7} | {:>9} {:>9} {:>7} {:>7}",
             w.name,
@@ -73,4 +84,5 @@ fn main() {
     assert!(tot[1] < tot[0], "some static loads must disappear");
     assert!(tot[3] <= tot[2], "static stores must not grow");
     assert!(tot[5] <= tot[4] && tot[7] <= tot[6], "dynamic traffic must not grow");
+    write_stats("fig18", &stats);
 }

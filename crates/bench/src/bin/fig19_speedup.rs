@@ -10,7 +10,7 @@
 //! Run with `cargo run -p cash-bench --bin fig19_speedup`.
 
 use cash::OptLevel;
-use cash_bench::harness::{memory_systems, rule, run, speedup};
+use cash_bench::harness::{memory_systems, rule, run_compiled, speedup, stats_line, write_stats};
 
 fn main() {
     let systems = memory_systems();
@@ -29,12 +29,18 @@ fn main() {
     rule(14 + systems.len() * 25);
 
     let mut totals = vec![[0u64; 3]; systems.len()];
+    let mut stats = Vec::new();
     for w in workloads::suite() {
         print!("{:<14}", w.name);
-        for (k, (_, cfg)) in systems.iter().enumerate() {
-            let base = run(&w, OptLevel::None, cfg);
-            let med = run(&w, OptLevel::Medium, cfg);
-            let full = run(&w, OptLevel::Full, cfg);
+        for (k, (sys, cfg)) in systems.iter().enumerate() {
+            let mut go = |level| {
+                let (p, r) = run_compiled(&w, level, cfg);
+                stats.push(stats_line("fig19", sys, &w, level, &p, &r));
+                r
+            };
+            let base = go(OptLevel::None);
+            let med = go(OptLevel::Medium);
+            let full = go(OptLevel::Full);
             print!(
                 " | {:>7} {:>7} {:>6}",
                 speedup(base.cycles, med.cycles).trim(),
@@ -50,12 +56,7 @@ fn main() {
     rule(14 + systems.len() * 25);
     print!("{:<14}", "geomean-ish");
     for t in &totals {
-        print!(
-            " | {:>7} {:>7} {:>6}",
-            speedup(t[0], t[1]).trim(),
-            speedup(t[0], t[2]).trim(),
-            ""
-        );
+        print!(" | {:>7} {:>7} {:>6}", speedup(t[0], t[1]).trim(), speedup(t[0], t[2]).trim(), "");
     }
     println!();
 
@@ -75,9 +76,7 @@ fn main() {
         assert!(t[2] <= t[0], "Full must not lose to None on system {k}");
         assert!(t[1] <= t[0], "Medium must not lose to None on system {k}");
     }
-    assert!(
-        totals[3][2] <= totals[1][2],
-        "4 ports must not lose to 1 port"
-    );
+    assert!(totals[3][2] <= totals[1][2], "4 ports must not lose to 1 port");
     println!("\nPASS: Figure 19 shape reproduced (Full ≥ Medium ≥ None; more ports help)");
+    write_stats("fig19", &stats);
 }

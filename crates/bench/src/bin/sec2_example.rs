@@ -45,11 +45,7 @@ fn main() {
     let (_, baseline, bl, bs) = &rows[0];
     let (_, full, fl, fs) = &rows[2];
     println!();
-    println!(
-        "CASH removes {} loads and {} stores the baseline retains",
-        bl - fl,
-        bs - fs
-    );
+    println!("CASH removes {} loads and {} stores the baseline retains", bl - fl, bs - fs);
     assert!(bs - fs >= 2, "the paper's two redundant stores must die");
     assert!(bl - fl >= 1, "the paper's redundant reload must die");
 

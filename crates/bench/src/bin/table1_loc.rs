@@ -13,9 +13,7 @@ use std::path::Path;
 fn count_lines(rel: &str) -> usize {
     // The workspace root is two levels above this crate's manifest.
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    std::fs::read_to_string(root.join(rel))
-        .map(|s| s.lines().count())
-        .unwrap_or(0)
+    std::fs::read_to_string(root.join(rel)).map(|s| s.lines().count()).unwrap_or(0)
 }
 
 fn main() {
@@ -31,10 +29,7 @@ fn main() {
     ];
     println!("Table 1: implementation size per optimization");
     println!();
-    println!(
-        "{:<32} {:>10} {:>12}   {}",
-        "optimization", "paper LOC", "this repo", "module"
-    );
+    println!("{:<32} {:>10} {:>12}   module", "optimization", "paper LOC", "this repo");
     cash_bench::harness::rule(96);
     let mut paper_total = 0;
     let mut ours_total = 0;

@@ -1,6 +1,6 @@
 //! Shared helpers for the table/figure harness binaries.
 
-use cash::{CacheParams, MemSystem, OptLevel, SimConfig, SimResult};
+use cash::{CacheParams, MemSystem, OptLevel, Program, SimConfig, SimResult, StatsRecord};
 use workloads::Workload;
 
 /// The memory systems of the Figure 19 sweep: perfect memory plus the
@@ -18,12 +18,43 @@ pub fn memory_systems() -> Vec<(&'static str, SimConfig)> {
 /// Runs a workload at a level/config, panicking with context on failure
 /// (the harness binaries should fail loudly).
 pub fn run(w: &Workload, level: OptLevel, cfg: &SimConfig) -> SimResult {
-    let r = w
-        .run(level, w.default_arg, cfg)
-        .unwrap_or_else(|e| panic!("{} at {level}: {e}", w.name));
+    run_compiled(w, level, cfg).1
+}
+
+/// Like [`run`], but also returns the compiled program so the caller can
+/// emit its optimizer telemetry alongside the simulation statistics.
+pub fn run_compiled(w: &Workload, level: OptLevel, cfg: &SimConfig) -> (Program, SimResult) {
+    let p = w.compile(level).unwrap_or_else(|e| panic!("{} at {level}: {e}", w.name));
+    let r =
+        p.simulate(&[w.default_arg], cfg).unwrap_or_else(|e| panic!("{} at {level}: {e}", w.name));
     let expect = (w.reference)(w.default_arg);
     assert_eq!(r.ret, Some(expect), "{} at {level} diverged from reference", w.name);
-    r
+    (p, r)
+}
+
+/// Renders the shared `cash-stats-v1` record for one harness run.
+pub fn stats_line(
+    bench: &str,
+    system: &str,
+    w: &Workload,
+    level: OptLevel,
+    p: &Program,
+    r: &SimResult,
+) -> String {
+    StatsRecord { bench, kernel: w.name, level: &level.to_string(), system, opt: &p.report, sim: r }
+        .to_json()
+}
+
+/// Writes the collected telemetry lines to `BENCH_<bench>.json` in the
+/// current directory, one JSON record per line.
+pub fn write_stats(bench: &str, lines: &[String]) {
+    let path = format!("BENCH_{bench}.json");
+    let mut out = lines.join("\n");
+    out.push('\n');
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("telemetry: {} records -> {path}", lines.len()),
+        Err(e) => eprintln!("telemetry: failed to write {path}: {e}"),
+    }
 }
 
 /// Formats a ratio as a percentage string.

@@ -1,4 +1,6 @@
 //! Benchmark harnesses: see the `bin` targets for table/figure
-//! regeneration and `benches/` for Criterion microbenchmarks.
+//! regeneration and `benches/` for wall-clock microbenchmarks built on
+//! the self-contained [`microbench`] harness.
 
 pub mod harness;
+pub mod microbench;

@@ -1,0 +1,78 @@
+//! A minimal wall-clock microbenchmark harness.
+//!
+//! The container this repository builds in has no network access, so the
+//! usual Criterion dependency is replaced by this self-contained harness:
+//! warm-up, adaptive iteration counts, and a median-of-samples report. The
+//! `benches/*` targets declare `harness = false` and drive it from plain
+//! `main` functions, so `cargo bench` works unchanged.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 11;
+/// Target wall time per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(60);
+
+/// Result of one benchmark: nanoseconds per iteration (median sample).
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub iters_per_sample: u64,
+}
+
+impl Measurement {
+    /// Human-readable time per iteration.
+    pub fn per_iter(&self) -> String {
+        fmt_ns(self.median_ns)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times `f`, printing a `group/name  median [min .. max]` line, and
+/// returns the measurement. The closure's result is black-boxed so the
+/// optimizer cannot elide the work.
+pub fn bench<R>(group: &str, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+    // Warm up and size the sample so each takes roughly SAMPLE_TARGET.
+    let t0 = Instant::now();
+    black_box(f());
+    let once = t0.elapsed().max(Duration::from_nanos(50));
+    let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let m = Measurement {
+        median_ns: samples[samples.len() / 2],
+        min_ns: samples[0],
+        max_ns: samples[samples.len() - 1],
+        iters_per_sample: iters,
+    };
+    println!(
+        "{group}/{name:<28} {:>12}  [{} .. {}]  ({iters} iters/sample)",
+        m.per_iter(),
+        fmt_ns(m.min_ns),
+        fmt_ns(m.max_ns),
+        iters = m.iters_per_sample,
+    );
+    m
+}

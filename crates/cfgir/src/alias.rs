@@ -54,9 +54,7 @@ impl<'m> AliasOracle<'m> {
             (Global, Global) | (Global, Local) | (Local, Global) | (Local, Local) => false,
             // A pointer parameter may point anywhere, except where a pragma
             // says otherwise.
-            (ParamPtr, ParamPtr) => {
-                !self.independent.contains(&(a.min(b), a.max(b)))
-            }
+            (ParamPtr, ParamPtr) => !self.independent.contains(&(a.min(b), a.max(b))),
             (ParamPtr, _) | (_, ParamPtr) => true,
             (Immutable, _) | (_, Immutable) => false,
         }
@@ -71,15 +69,15 @@ impl<'m> AliasOracle<'m> {
                 // Top overlaps anything writable; a set of only-immutable
                 // objects still cannot be involved in a dependence.
                 match other.ids() {
-                    Some(ids) => ids.iter().any(|&o| {
-                        self.module.objects[o.0 as usize].kind != ObjectKind::Immutable
-                    }),
+                    Some(ids) => ids
+                        .iter()
+                        .any(|&o| self.module.objects[o.0 as usize].kind != ObjectKind::Immutable),
                     None => true,
                 }
             }
-            (ObjectSet::Ids(a), ObjectSet::Ids(b)) => a
-                .iter()
-                .any(|&x| b.iter().any(|&y| self.may_alias(x, y))),
+            (ObjectSet::Ids(a), ObjectSet::Ids(b)) => {
+                a.iter().any(|&x| b.iter().any(|&y| self.may_alias(x, y)))
+            }
         }
     }
 
@@ -89,9 +87,9 @@ impl<'m> AliasOracle<'m> {
         match s.ids() {
             Some(ids) => {
                 !ids.is_empty()
-                    && ids.iter().all(|&o| {
-                        self.module.objects[o.0 as usize].kind == ObjectKind::Immutable
-                    })
+                    && ids
+                        .iter()
+                        .all(|&o| self.module.objects[o.0 as usize].kind == ObjectKind::Immutable)
             }
             None => false,
         }
@@ -165,10 +163,7 @@ mod tests {
     #[test]
     fn pragma_makes_params_independent() {
         let mut m = module_with_params();
-        m.pragmas.push(PragmaIndependent {
-            function: "f".into(),
-            ptrs: ("p".into(), "q".into()),
-        });
+        m.pragmas.push(PragmaIndependent { function: "f".into(), ptrs: ("p".into(), "q".into()) });
         let o = AliasOracle::new(&m);
         assert!(!o.may_alias(ObjId(4), ObjId(5)));
         // Still aliases globals.
@@ -178,10 +173,8 @@ mod tests {
     #[test]
     fn pragma_with_unknown_names_is_ignored() {
         let mut m = module_with_params();
-        m.pragmas.push(PragmaIndependent {
-            function: "f".into(),
-            ptrs: ("p".into(), "nosuch".into()),
-        });
+        m.pragmas
+            .push(PragmaIndependent { function: "f".into(), ptrs: ("p".into(), "nosuch".into()) });
         let o = AliasOracle::new(&m);
         assert!(o.may_alias(ObjId(4), ObjId(5)));
     }
@@ -189,10 +182,7 @@ mod tests {
     #[test]
     fn set_overlap_uses_alias_relation() {
         let mut m = module_with_params();
-        m.pragmas.push(PragmaIndependent {
-            function: "f".into(),
-            ptrs: ("p".into(), "q".into()),
-        });
+        m.pragmas.push(PragmaIndependent { function: "f".into(), ptrs: ("p".into(), "q".into()) });
         let o = AliasOracle::new(&m);
         let sp = ObjectSet::only(ObjId(4));
         let sq = ObjectSet::only(ObjId(5));

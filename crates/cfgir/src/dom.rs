@@ -35,24 +35,18 @@ impl DomTree {
         // of the reversed graph by taking the postorder of the forward graph.
         let mut fwd_post = f.reverse_postorder();
         fwd_post.reverse(); // postorder of forward graph ≈ RPO of reverse graph
-        // Roots of the reverse graph are the ret blocks; make sure they come
-        // first in the order by stable partition.
-        let is_exit =
-            |b: BlockId| matches!(f.block(b).term, Terminator::Ret(_));
+                            // Roots of the reverse graph are the ret blocks; make sure they come
+                            // first in the order by stable partition.
+        let is_exit = |b: BlockId| matches!(f.block(b).term, Terminator::Ret(_));
         let mut order: Vec<BlockId> = fwd_post.iter().copied().filter(|&b| is_exit(b)).collect();
         order.extend(fwd_post.iter().copied().filter(|&b| !is_exit(b)));
-        let succs: Vec<Vec<BlockId>> =
-            f.blocks.iter().map(|b| b.term.successors()).collect();
+        let succs: Vec<Vec<BlockId>> = f.blocks.iter().map(|b| b.term.successors()).collect();
         Self::build_from(f.num_blocks(), &order, |b| succs[b.index()].clone())
     }
 
     /// Generic CHK fixpoint over an arbitrary order and predecessor relation.
     /// The first element(s) of `order` act as roots (their idom stays None).
-    fn build_from(
-        n: usize,
-        order: &[BlockId],
-        preds_of: impl Fn(BlockId) -> Vec<BlockId>,
-    ) -> Self {
+    fn build_from(n: usize, order: &[BlockId], preds_of: impl Fn(BlockId) -> Vec<BlockId>) -> Self {
         let mut rpo_number = vec![usize::MAX; n];
         for (i, &b) in order.iter().enumerate() {
             rpo_number[b.index()] = i;
@@ -62,9 +56,7 @@ impl DomTree {
         // processed by self-idom during the fixpoint, then clear afterwards.
         let mut is_root = vec![false; n];
         for &b in order {
-            let has_pred = preds_of(b)
-                .iter()
-                .any(|p| rpo_number[p.index()] != usize::MAX);
+            let has_pred = preds_of(b).iter().any(|p| rpo_number[p.index()] != usize::MAX);
             if !has_pred || rpo_number[b.index()] == 0 {
                 is_root[b.index()] = true;
                 idom[b.index()] = Some(b);
@@ -136,9 +128,7 @@ impl DomTree {
 
     /// Does `a` dominate `b`? Every reachable block dominates itself.
     pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        if self.rpo_number[b.index()] == usize::MAX
-            || self.rpo_number[a.index()] == usize::MAX
-        {
+        if self.rpo_number[b.index()] == usize::MAX || self.rpo_number[a.index()] == usize::MAX {
             return false;
         }
         let mut cur = b;
@@ -172,8 +162,7 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         let b3 = f.add_block();
-        f.block_mut(BlockId::ENTRY).term =
-            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(BlockId::ENTRY).term = Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
         f.block_mut(b1).term = Terminator::Jump(b3);
         f.block_mut(b2).term = Terminator::Jump(b3);
         f

@@ -391,8 +391,7 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         let b3 = f.add_block();
-        f.block_mut(BlockId::ENTRY).term =
-            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(BlockId::ENTRY).term = Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
         f.block_mut(b1).term = Terminator::Jump(b3);
         f.block_mut(b2).term = Terminator::Jump(b3);
         f.block_mut(b3).term = Terminator::Ret(None);
@@ -432,12 +431,8 @@ mod tests {
         let i = Instr::Bin { dst: Reg(2), op: BinOp::Add, a: Reg(0), b: Reg(1) };
         assert_eq!(i.dst(), Some(Reg(2)));
         assert_eq!(i.uses(), vec![Reg(0), Reg(1)]);
-        let s = Instr::Store {
-            addr: Reg(0),
-            value: Reg(1),
-            ty: Type::int(32),
-            may: ObjectSet::Top,
-        };
+        let s =
+            Instr::Store { addr: Reg(0), value: Reg(1), ty: Type::int(32), may: ObjectSet::Top };
         assert_eq!(s.dst(), None);
         assert!(s.is_memory());
     }

@@ -149,7 +149,11 @@ impl Hyperblocks {
 
     /// Successor hyperblocks of `h` with the CFG edges that cross the
     /// boundary, as `(from_block, to_block, to_hb)` triples.
-    pub fn out_edges(&self, f: &Function, h: HyperblockId) -> Vec<(BlockId, BlockId, HyperblockId)> {
+    pub fn out_edges(
+        &self,
+        f: &Function,
+        h: HyperblockId,
+    ) -> Vec<(BlockId, BlockId, HyperblockId)> {
         let mut out = Vec::new();
         for &b in self.blocks_of(h) {
             for s in f.block(b).term.successors() {
@@ -184,8 +188,7 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         let b3 = f.add_block();
-        f.block_mut(BlockId::ENTRY).term =
-            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(BlockId::ENTRY).term = Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
         f.block_mut(b1).term = Terminator::Jump(b3);
         f.block_mut(b2).term = Terminator::Jump(b3);
         let hbs = analyze(&f);
@@ -247,8 +250,7 @@ mod tests {
         let b = f.add_block();
         let l = f.add_block();
         let join = f.add_block();
-        f.block_mut(BlockId::ENTRY).term =
-            Terminator::Branch { cond: c, then_bb: a, else_bb: b };
+        f.block_mut(BlockId::ENTRY).term = Terminator::Branch { cond: c, then_bb: a, else_bb: b };
         f.block_mut(a).term = Terminator::Jump(join);
         f.block_mut(b).term = Terminator::Jump(l);
         f.block_mut(l).term = Terminator::Branch { cond: c, then_bb: l, else_bb: join };

@@ -28,10 +28,9 @@ impl fmt::Display for InlineError {
             InlineError::Recursive(n) => {
                 write!(f, "recursive call involving `{n}` cannot be spatially instantiated")
             }
-            InlineError::ArityMismatch { callee, expected, got } => write!(
-                f,
-                "call to `{callee}` passes {got} arguments, expected {expected}"
-            ),
+            InlineError::ArityMismatch { callee, expected, got } => {
+                write!(f, "call to `{callee}` passes {got} arguments, expected {expected}")
+            }
         }
     }
 }
@@ -45,9 +44,8 @@ impl std::error::Error for InlineError {}
 /// Fails if a callee is undefined, if the reachable call graph is recursive,
 /// or if a call site's arity disagrees with the callee.
 pub fn inline_all(module: &Module, entry: &str) -> Result<Function, InlineError> {
-    let f = module
-        .function(entry)
-        .ok_or_else(|| InlineError::UnknownFunction(entry.to_string()))?;
+    let f =
+        module.function(entry).ok_or_else(|| InlineError::UnknownFunction(entry.to_string()))?;
     check_acyclic(module, entry)?;
     let mut out = f.clone();
     // Keep inlining the first remaining call; acyclicity bounds this.
@@ -83,9 +81,8 @@ fn check_acyclic(module: &Module, entry: &str) -> Result<(), InlineError> {
         if !open.insert(name.to_string()) {
             return Err(InlineError::Recursive(name.to_string()));
         }
-        let f = module
-            .function(name)
-            .ok_or_else(|| InlineError::UnknownFunction(name.to_string()))?;
+        let f =
+            module.function(name).ok_or_else(|| InlineError::UnknownFunction(name.to_string()))?;
         for b in &f.blocks {
             for ins in &b.instrs {
                 if let Instr::Call { callee, .. } = ins {

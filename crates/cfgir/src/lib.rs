@@ -67,11 +67,7 @@ pub struct PragmaIndependent {
 impl Module {
     /// Creates an empty module with the reserved *unknown* object installed.
     pub fn new() -> Self {
-        Module {
-            objects: vec![MemObject::unknown()],
-            functions: Vec::new(),
-            pragmas: Vec::new(),
-        }
+        Module { objects: vec![MemObject::unknown()], functions: Vec::new(), pragmas: Vec::new() }
     }
 
     /// Registers a memory object and returns its id.
@@ -93,11 +89,7 @@ impl Module {
 
     /// Index of each function by name (for call resolution).
     pub fn function_indices(&self) -> HashMap<String, usize> {
-        self.functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.name.clone(), i))
-            .collect()
+        self.functions.iter().enumerate().map(|(i, f)| (f.name.clone(), i)).collect()
     }
 
     /// Total bytes of statically allocated memory (sum of object sizes,

@@ -88,14 +88,10 @@ mod tests {
         let exit = f.add_block();
         f.block_mut(BlockId::ENTRY).instrs.push(Instr::Const { dst: i, value: 0 });
         f.block_mut(BlockId::ENTRY).term = Terminator::Jump(head);
-        f.block_mut(head)
-            .instrs
-            .push(Instr::Bin { dst: c, op: BinOp::Lt, a: i, b: n });
+        f.block_mut(head).instrs.push(Instr::Bin { dst: c, op: BinOp::Lt, a: i, b: n });
         f.block_mut(head).term = Terminator::Branch { cond: c, then_bb: body, else_bb: exit };
         f.block_mut(body).instrs.push(Instr::Const { dst: one, value: 1 });
-        f.block_mut(body)
-            .instrs
-            .push(Instr::Bin { dst: i, op: BinOp::Add, a: i, b: one });
+        f.block_mut(body).instrs.push(Instr::Bin { dst: i, op: BinOp::Add, a: i, b: one });
         f.block_mut(body).term = Terminator::Jump(head);
         f.block_mut(exit).term = Terminator::Ret(Some(i));
 

@@ -83,19 +83,14 @@ impl LoopForest {
             }
             // Exiting blocks.
             for &b in &l.body {
-                if f.block(b)
-                    .term
-                    .successors()
-                    .iter()
-                    .any(|s| !l.body.contains(s))
-                {
+                if f.block(b).term.successors().iter().any(|s| !l.body.contains(s)) {
                     l.exiting.push(b);
                 }
             }
             l.exiting.sort_unstable();
         }
         // Sort outer loops first (bigger bodies first); compute nesting.
-        loops.sort_by(|a, b| b.body.len().cmp(&a.body.len()));
+        loops.sort_by_key(|l| std::cmp::Reverse(l.body.len()));
         let n = loops.len();
         for i in 0..n {
             let mut parent: Option<usize> = None;
@@ -135,11 +130,7 @@ impl LoopForest {
 
     /// The innermost loop containing `b`, if any.
     pub fn loop_of(&self, b: BlockId) -> Option<&Loop> {
-        self.innermost
-            .get(b.index())
-            .copied()
-            .flatten()
-            .map(|i| &self.loops[i])
+        self.innermost.get(b.index()).copied().flatten().map(|i| &self.loops[i])
     }
 
     /// Is `b` a loop header?
@@ -189,8 +180,7 @@ mod tests {
         let exit = f.add_block(); // 5
         f.block_mut(BlockId::ENTRY).term = Terminator::Jump(oh);
         f.block_mut(oh).term = Terminator::Branch { cond: c, then_bb: ih, else_bb: exit };
-        f.block_mut(ih).term =
-            Terminator::Branch { cond: c, then_bb: ibody, else_bb: olatch };
+        f.block_mut(ih).term = Terminator::Branch { cond: c, then_bb: ibody, else_bb: olatch };
         f.block_mut(ibody).term = Terminator::Jump(ih);
         f.block_mut(olatch).term = Terminator::Jump(oh);
         f

@@ -190,8 +190,7 @@ mod tests {
         let b1 = f.add_block();
         let b2 = f.add_block();
         let b3 = f.add_block();
-        f.block_mut(BlockId::ENTRY).term =
-            Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
+        f.block_mut(BlockId::ENTRY).term = Terminator::Branch { cond: c, then_bb: b1, else_bb: b2 };
         f.block_mut(b1).instrs.push(Instr::Addr { dst: r, obj: oa });
         f.block_mut(b1).term = Terminator::Jump(b3);
         f.block_mut(b2).instrs.push(Instr::Addr { dst: r, obj: ob });

@@ -79,10 +79,7 @@ pub fn validate(f: &Function) -> Result<(), ValidateError> {
             }
             Terminator::Branch { cond, then_bb, else_bb } => {
                 if cond.0 >= nregs {
-                    return Err(ValidateError::BadRegister {
-                        block: b.id,
-                        instr: b.instrs.len(),
-                    });
+                    return Err(ValidateError::BadRegister { block: b.id, instr: b.instrs.len() });
                 }
                 if f.ty(*cond) != &Type::Bool {
                     return Err(ValidateError::NonBoolCondition { block: b.id });
@@ -95,10 +92,7 @@ pub fn validate(f: &Function) -> Result<(), ValidateError> {
             }
             Terminator::Ret(Some(r)) => {
                 if r.0 >= nregs {
-                    return Err(ValidateError::BadRegister {
-                        block: b.id,
-                        instr: b.instrs.len(),
-                    });
+                    return Err(ValidateError::BadRegister { block: b.id, instr: b.instrs.len() });
                 }
             }
             Terminator::Ret(None) => {}
@@ -131,9 +125,7 @@ mod tests {
     #[test]
     fn detects_unallocated_register() {
         let mut f = Function::new("bad", Type::Void);
-        f.block_mut(BlockId::ENTRY)
-            .instrs
-            .push(Instr::Copy { dst: Reg(5), src: Reg(6) });
+        f.block_mut(BlockId::ENTRY).instrs.push(Instr::Copy { dst: Reg(5), src: Reg(6) });
         assert!(matches!(validate(&f), Err(ValidateError::BadRegister { .. })));
     }
 
@@ -142,8 +134,7 @@ mod tests {
         let mut f = Function::new("bad", Type::Void);
         let r = f.new_reg(Type::int(32));
         let t = f.add_block();
-        f.block_mut(BlockId::ENTRY).term =
-            Terminator::Branch { cond: r, then_bb: t, else_bb: t };
+        f.block_mut(BlockId::ENTRY).term = Terminator::Branch { cond: r, then_bb: t, else_bb: t };
         assert!(matches!(validate(&f), Err(ValidateError::NonBoolCondition { .. })));
     }
 

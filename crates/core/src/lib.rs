@@ -37,8 +37,15 @@ use cfgir::{AliasOracle, Module};
 use pegasus::Graph;
 use std::fmt;
 
-pub use ashsim::{CacheParams, Machine, MemStats, MemSystem, SimConfig, SimError, SimResult};
-pub use opt::{OptConfig, OptLevel, OptReport};
+pub mod stats;
+
+pub use ashsim::{
+    diagnose, BlockedNode, CacheParams, Machine, MemStats, MemSystem, NodeProfile, SimConfig,
+    SimError, SimProfile, SimResult, StallCause, Trace, TraceEvent,
+};
+pub use opt::{OptConfig, OptLevel, OptReport, PassStat};
+pub use pegasus::NodeHeat;
+pub use stats::StatsRecord;
 
 /// Any failure along the compilation pipeline.
 #[derive(Debug)]
@@ -237,6 +244,25 @@ impl Program {
         pegasus::to_dot(&self.graph, &self.entry)
     }
 
+    /// Graphviz rendering with a heat-map overlay from a profiled run
+    /// (fill encodes firing count, border encodes stall fraction). Collect
+    /// the profile by simulating with [`SimConfig::profile`] set.
+    pub fn to_dot_heat(&self, profile: &SimProfile) -> String {
+        pegasus::to_dot_heat(&self.graph, &self.entry, &profile.node_heat())
+    }
+
+    /// Exports a profiled-and-traced run's event stream as Chrome
+    /// trace-event JSON, loadable in Perfetto. Collect the trace by
+    /// simulating with [`SimConfig::trace`] set.
+    pub fn trace_to_chrome_json(&self, trace: &Trace) -> String {
+        trace.to_chrome_json(&self.graph)
+    }
+
+    /// Serializes a profiled run's per-node profile as JSON.
+    pub fn profile_to_json(&self, profile: &SimProfile) -> String {
+        profile.to_json(&self.graph)
+    }
+
     /// Number of live nodes in the circuit (the paper's IR-size metric).
     pub fn circuit_size(&self) -> usize {
         self.graph.live_count()
@@ -325,10 +351,7 @@ mod tests {
 
     #[test]
     fn frontend_errors_propagate() {
-        assert!(matches!(
-            Compiler::new().compile("int main( {"),
-            Err(Error::Frontend(_))
-        ));
+        assert!(matches!(Compiler::new().compile("int main( {"), Err(Error::Frontend(_))));
     }
 
     #[test]

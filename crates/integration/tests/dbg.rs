@@ -49,41 +49,71 @@ fn dbg_adpcm_bisect() {
         }";
     for (name, src, reference) in [
         ("s1", s1, {
-            fn r(n: i64) -> i64 { (0..n).map(|i| ((i*37)&63)-32).sum() } r as fn(i64)->i64
+            fn r(n: i64) -> i64 {
+                (0..n).map(|i| ((i * 37) & 63) - 32).sum()
+            }
+            r as fn(i64) -> i64
         }),
         ("s2", s2, {
             fn r(n: i64) -> i64 {
-                const STEP: [i64;16] = [7,8,9,10,11,12,13,14,16,17,19,21,23,25,28,31];
-                const ADJ: [i64;8] = [-1,-1,-1,-1,2,4,6,8];
-                let mut acc=0; let mut idx=0i64;
-                for i in 0..n { acc += STEP[idx as usize]; idx = (idx + ADJ[(i&7) as usize]).clamp(0,15); }
+                const STEP: [i64; 16] =
+                    [7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31];
+                const ADJ: [i64; 8] = [-1, -1, -1, -1, 2, 4, 6, 8];
+                let mut acc = 0;
+                let mut idx = 0i64;
+                for i in 0..n {
+                    acc += STEP[idx as usize];
+                    idx = (idx + ADJ[(i & 7) as usize]).clamp(0, 15);
+                }
                 acc
-            } r as fn(i64)->i64
+            }
+            r as fn(i64) -> i64
         }),
         ("s3", s3, {
             fn r(n: i64) -> i64 {
-                let pcm: Vec<i64> = (0..n).map(|i| ((i*37)&63)-32).collect();
-                let mut pred=0i64; let mut code=vec![0i64;n as usize];
+                let pcm: Vec<i64> = (0..n).map(|i| ((i * 37) & 63) - 32).collect();
+                let mut pred = 0i64;
+                let mut code = vec![0i64; n as usize];
                 for i in 0..n as usize {
-                    let mut diff = pcm[i]-pred; let mut sign=0;
-                    if diff<0 {sign=8; diff=-diff;}
-                    let mut delta=0;
-                    if diff>=16 {delta=4; diff-=16;}
-                    if diff>=8 {delta|=2; diff-=8;}
-                    if diff>=4 {delta|=1;}
-                    code[i]=delta|sign;
-                    let change = delta*16>>2;
-                    if sign!=0 {pred-=change;} else {pred+=change;}
+                    let mut diff = pcm[i] - pred;
+                    let mut sign = 0;
+                    if diff < 0 {
+                        sign = 8;
+                        diff = -diff;
+                    }
+                    let mut delta = 0;
+                    if diff >= 16 {
+                        delta = 4;
+                        diff -= 16;
+                    }
+                    if diff >= 8 {
+                        delta |= 2;
+                        diff -= 8;
+                    }
+                    if diff >= 4 {
+                        delta |= 1;
+                    }
+                    code[i] = delta | sign;
+                    let change = (delta * 16) >> 2;
+                    if sign != 0 {
+                        pred -= change;
+                    } else {
+                        pred += change;
+                    }
                 }
-                code.iter().enumerate().map(|(i,&c)| c*(i as i64+1)).sum()
-            } r as fn(i64)->i64
+                code.iter().enumerate().map(|(i, &c)| c * (i as i64 + 1)).sum()
+            }
+            r as fn(i64) -> i64
         }),
     ] {
         let p = Compiler::new().level(OptLevel::None).compile(src).unwrap();
         for n in [4i64, 16, 96] {
             let got = p.simulate(&[n], &SimConfig::perfect()).unwrap().ret;
             let want = reference(n);
-            println!("{name} n={n}: got {got:?} want {want} {}", if got == Some(want) {"OK"} else {"MISMATCH"});
+            println!(
+                "{name} n={n}: got {got:?} want {want} {}",
+                if got == Some(want) { "OK" } else { "MISMATCH" }
+            );
         }
     }
 }

@@ -108,9 +108,19 @@ pub struct LocalDecl {
 pub enum Stmt {
     Decl(Vec<LocalDecl>),
     Expr(Expr),
-    If { c: Expr, t: Box<Stmt>, e: Option<Box<Stmt>> },
-    While { c: Expr, body: Box<Stmt> },
-    DoWhile { body: Box<Stmt>, c: Expr },
+    If {
+        c: Expr,
+        t: Box<Stmt>,
+        e: Option<Box<Stmt>>,
+    },
+    While {
+        c: Expr,
+        body: Box<Stmt>,
+    },
+    DoWhile {
+        body: Box<Stmt>,
+        c: Expr,
+    },
     For {
         init: Option<Box<Stmt>>,
         cond: Option<Expr>,

@@ -176,35 +176,33 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
             }
             b'0'..=b'9' => {
                 let start = i;
-                let (value, len) = if c == b'0'
-                    && i + 1 < b.len()
-                    && (b[i + 1] == b'x' || b[i + 1] == b'X')
-                {
-                    let mut j = i + 2;
-                    while j < b.len() && b[j].is_ascii_hexdigit() {
-                        j += 1;
-                    }
-                    let digits = &src[i + 2..j];
-                    if digits.is_empty() {
-                        return Err(LexError { line, msg: "empty hex literal".into() });
-                    }
-                    let v = u64::from_str_radix(digits, 16).map_err(|_| LexError {
-                        line,
-                        msg: format!("hex literal `{digits}` out of range"),
-                    })?;
-                    (v as i64, j - start)
-                } else {
-                    let mut j = i;
-                    while j < b.len() && b[j].is_ascii_digit() {
-                        j += 1;
-                    }
-                    let digits = &src[i..j];
-                    let v: i64 = digits.parse().map_err(|_| LexError {
-                        line,
-                        msg: format!("integer literal `{digits}` out of range"),
-                    })?;
-                    (v, j - start)
-                };
+                let (value, len) =
+                    if c == b'0' && i + 1 < b.len() && (b[i + 1] == b'x' || b[i + 1] == b'X') {
+                        let mut j = i + 2;
+                        while j < b.len() && b[j].is_ascii_hexdigit() {
+                            j += 1;
+                        }
+                        let digits = &src[i + 2..j];
+                        if digits.is_empty() {
+                            return Err(LexError { line, msg: "empty hex literal".into() });
+                        }
+                        let v = u64::from_str_radix(digits, 16).map_err(|_| LexError {
+                            line,
+                            msg: format!("hex literal `{digits}` out of range"),
+                        })?;
+                        (v as i64, j - start)
+                    } else {
+                        let mut j = i;
+                        while j < b.len() && b[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                        let digits = &src[i..j];
+                        let v: i64 = digits.parse().map_err(|_| LexError {
+                            line,
+                            msg: format!("integer literal `{digits}` out of range"),
+                        })?;
+                        (v, j - start)
+                    };
                 // Swallow C suffixes (u, l, ul…); any other letter glued to
                 // the literal is a malformed token, not two tokens.
                 let mut j = start + len;
@@ -245,7 +243,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 } else {
                     (b[i + 1], 3)
                 };
-                if i + consumed - 1 >= b.len() || b[i + consumed - 1] != b'\'' {
+                if i + consumed > b.len() || b[i + consumed - 1] != b'\'' {
                     return Err(LexError { line, msg: "unterminated char literal".into() });
                 }
                 i += consumed;
@@ -387,42 +385,34 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("42 0x1f 0 7u"), vec![
-            Tok::Int(42),
-            Tok::Int(31),
-            Tok::Int(0),
-            Tok::Int(7),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("42 0x1f 0 7u"),
+            vec![Tok::Int(42), Tok::Int(31), Tok::Int(0), Tok::Int(7), Tok::Eof]
+        );
     }
 
     #[test]
     fn char_literals() {
-        assert_eq!(toks("'a' '\\n' '\\0'"), vec![
-            Tok::Int(97),
-            Tok::Int(10),
-            Tok::Int(0),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("'a' '\\n' '\\0'"),
+            vec![Tok::Int(97), Tok::Int(10), Tok::Int(0), Tok::Eof]
+        );
     }
 
     #[test]
     fn compound_operators_longest_match() {
-        assert_eq!(toks("<<= << <= <"), vec![
-            Tok::ShlEq,
-            Tok::Shl,
-            Tok::Le,
-            Tok::Lt,
-            Tok::Eof
-        ]);
-        assert_eq!(toks("a+=b ++c"), vec![
-            Tok::Ident("a".into()),
-            Tok::PlusEq,
-            Tok::Ident("b".into()),
-            Tok::PlusPlus,
-            Tok::Ident("c".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(toks("<<= << <= <"), vec![Tok::ShlEq, Tok::Shl, Tok::Le, Tok::Lt, Tok::Eof]);
+        assert_eq!(
+            toks("a+=b ++c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::PlusEq,
+                Tok::Ident("b".into()),
+                Tok::PlusPlus,
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]

@@ -183,10 +183,7 @@ int fib(int k) {
              int test(void) { int x = 5; return deref(&x); }",
         )
         .unwrap();
-        assert!(m
-            .objects
-            .iter()
-            .any(|o| o.name == "test::x" && o.kind == ObjectKind::Local));
+        assert!(m.objects.iter().any(|o| o.name == "test::x" && o.kind == ObjectKind::Local));
         let f = m.function("test").unwrap();
         // The initialization of x is now a store.
         let (_, stores) = f.count_memory_ops();
@@ -195,19 +192,15 @@ int fib(int k) {
 
     #[test]
     fn local_array_is_memory_object() {
-        let m = compile_to_module(
-            "int f(void) { int buf[8]; buf[0] = 3; return buf[0]; }",
-        )
-        .unwrap();
+        let m =
+            compile_to_module("int f(void) { int buf[8]; buf[0] = 3; return buf[0]; }").unwrap();
         assert!(m.objects.iter().any(|o| o.name == "f::buf" && o.len == 8));
     }
 
     #[test]
     fn short_circuit_produces_branches() {
-        let m = compile_to_module(
-            "int f(int a, int b) { if (a && b) return 1; return 0; }",
-        )
-        .unwrap();
+        let m =
+            compile_to_module("int f(int a, int b) { if (a && b) return 1; return 0; }").unwrap();
         let f = m.function("f").unwrap();
         assert!(f.num_blocks() >= 4);
     }

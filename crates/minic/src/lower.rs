@@ -70,10 +70,7 @@ pub fn lower(program: &Program) -> Result<Module, LowerError> {
             MemObject::global(g.name.clone(), elem.clone(), len).with_init(g.init.clone())
         };
         let id = module.add_object(obj);
-        globals.insert(
-            g.name.clone(),
-            GSym { id, elem, is_array: g.array_len.is_some() },
-        );
+        globals.insert(g.name.clone(), GSym { id, elem, is_array: g.array_len.is_some() });
     }
 
     // Function signatures for call typing.
@@ -82,10 +79,7 @@ pub fn lower(program: &Program) -> Result<Module, LowerError> {
         if sigs.contains_key(&f.name) {
             return err(f.line, format!("duplicate function `{}`", f.name));
         }
-        sigs.insert(
-            f.name.clone(),
-            (conv(&f.ret), f.params.iter().map(|p| conv(&p.ty)).collect()),
-        );
+        sigs.insert(f.name.clone(), (conv(&f.ret), f.params.iter().map(|p| conv(&p.ty)).collect()));
     }
 
     for f in program.functions() {
@@ -143,11 +137,8 @@ impl<'a> FnLower<'a> {
         for p in &decl.params {
             let ty = conv(&p.ty);
             let r = if let Type::Ptr(inner) = &ty {
-                let obj = module.add_object(MemObject::param_ptr(
-                    &decl.name,
-                    &p.name,
-                    (**inner).clone(),
-                ));
+                let obj =
+                    module.add_object(MemObject::param_ptr(&decl.name, &p.name, (**inner).clone()));
                 f.add_ptr_param(ty.clone(), &p.name, obj)
             } else {
                 f.add_param(ty.clone(), &p.name)
@@ -255,7 +246,13 @@ impl<'a> FnLower<'a> {
             (Type::Bool, t) | (t, Type::Bool) => t.clone(),
             (Type::Int { bits: ab, signed: asg }, Type::Int { bits: bb, signed: bsg }) => {
                 let bits = (*ab).max(*bb).max(32); // C integer promotion
-                let signed = if ab == bb { *asg && *bsg } else if ab > bb { *asg } else { *bsg };
+                let signed = if ab == bb {
+                    *asg && *bsg
+                } else if ab > bb {
+                    *asg
+                } else {
+                    *bsg
+                };
                 Type::Int { bits, signed }
             }
             _ => a.clone(),
@@ -280,9 +277,7 @@ impl<'a> FnLower<'a> {
 
     fn expr(&mut self, e: &Expr) -> Result<Reg, LowerError> {
         match &e.kind {
-            ExprKind::Int(v) => {
-                Ok(self.const_reg(Type::Int { bits: 32, signed: true }, *v))
-            }
+            ExprKind::Int(v) => Ok(self.const_reg(Type::Int { bits: 32, signed: true }, *v)),
             ExprKind::Ident(name) => match self.lookup(name) {
                 Some(Sym::Reg(r)) => Ok(r),
                 Some(Sym::Obj { id, elem, is_array }) => {
@@ -295,27 +290,20 @@ impl<'a> FnLower<'a> {
                         let a = self.f.new_reg(Type::ptr(elem.clone()));
                         self.emit(Instr::Addr { dst: a, obj: id });
                         let d = self.f.new_reg(elem.clone());
-                        self.emit(Instr::Load {
-                            dst: d,
-                            addr: a,
-                            ty: elem,
-                            may: ObjectSet::Top,
-                        });
+                        self.emit(Instr::Load { dst: d, addr: a, ty: elem, may: ObjectSet::Top });
                         Ok(d)
                     }
                 }
                 None => err(e.line, format!("unknown variable `{name}`")),
             },
-            ExprKind::Un(Un::AddrOf, inner) => {
-                match self.lvalue(inner)? {
-                    Place::Mem { addr, .. } => Ok(addr),
-                    Place::Reg(_) => err(
-                        e.line,
-                        "cannot take the address of a register variable (internal: \
+            ExprKind::Un(Un::AddrOf, inner) => match self.lvalue(inner)? {
+                Place::Mem { addr, .. } => Ok(addr),
+                Place::Reg(_) => err(
+                    e.line,
+                    "cannot take the address of a register variable (internal: \
                          address-taken prescan missed it)",
-                    ),
-                }
-            }
+                ),
+            },
             ExprKind::Un(Un::Deref, _) | ExprKind::Index { .. } => {
                 let place = self.lvalue(e)?;
                 self.load_place(place)
@@ -406,22 +394,14 @@ impl<'a> FnLower<'a> {
                 Ok(d)
             }
             ExprKind::Call { name, args } => {
-                let (ret, ptys) = self
-                    .sigs
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| LowerError {
-                        line: e.line,
-                        msg: format!("call to undeclared function `{name}`"),
-                    })?;
+                let (ret, ptys) = self.sigs.get(name).cloned().ok_or_else(|| LowerError {
+                    line: e.line,
+                    msg: format!("call to undeclared function `{name}`"),
+                })?;
                 if ptys.len() != args.len() {
                     return err(
                         e.line,
-                        format!(
-                            "`{name}` expects {} arguments, got {}",
-                            ptys.len(),
-                            args.len()
-                        ),
+                        format!("`{name}` expects {} arguments, got {}", ptys.len(), args.len()),
                     );
                 }
                 let mut regs = Vec::with_capacity(args.len());
@@ -429,11 +409,7 @@ impl<'a> FnLower<'a> {
                     let r = self.expr(a)?;
                     regs.push(self.coerce(r, pt));
                 }
-                let dst = if ret == Type::Void {
-                    None
-                } else {
-                    Some(self.f.new_reg(ret))
-                };
+                let dst = if ret == Type::Void { None } else { Some(self.f.new_reg(ret)) };
                 self.emit(Instr::Call { dst, callee: name.clone(), args: regs });
                 match dst {
                     Some(d) => Ok(d),
@@ -567,12 +543,7 @@ impl<'a> FnLower<'a> {
             Place::Reg(r) => *r,
             Place::Mem { addr, ty } => {
                 let d = self.f.new_reg(ty.clone());
-                self.emit(Instr::Load {
-                    dst: d,
-                    addr: *addr,
-                    ty: ty.clone(),
-                    may: ObjectSet::Top,
-                });
+                self.emit(Instr::Load { dst: d, addr: *addr, ty: ty.clone(), may: ObjectSet::Top });
                 d
             }
         }
@@ -761,9 +732,11 @@ impl<'a> FnLower<'a> {
             if d.init.is_some() {
                 return err(d.line, "local array initializers are not supported");
             }
-            let id = self
-                .module
-                .add_object(MemObject::local(format!("{}::{}", self.fname, d.name), ty.clone(), len));
+            let id = self.module.add_object(MemObject::local(
+                format!("{}::{}", self.fname, d.name),
+                ty.clone(),
+                len,
+            ));
             self.scopes
                 .last_mut()
                 .expect("scope stack never empty")
@@ -772,9 +745,11 @@ impl<'a> FnLower<'a> {
         }
         if self.addr_taken.contains(&d.name) {
             // Address-taken scalar: allocate one memory cell.
-            let id = self
-                .module
-                .add_object(MemObject::local(format!("{}::{}", self.fname, d.name), ty.clone(), 1));
+            let id = self.module.add_object(MemObject::local(
+                format!("{}::{}", self.fname, d.name),
+                ty.clone(),
+                1,
+            ));
             self.scopes
                 .last_mut()
                 .expect("scope stack never empty")
@@ -873,7 +848,11 @@ fn collect_addr_taken_stmt(s: &Stmt, out: &mut HashSet<String>) {
                 collect_addr_taken_stmt(st, out);
             }
         }
-        Stmt::Return(None, _) | Stmt::Break(_) | Stmt::Continue(_) | Stmt::Pragma(..) | Stmt::Empty => {}
+        Stmt::Return(None, _)
+        | Stmt::Break(_)
+        | Stmt::Continue(_)
+        | Stmt::Pragma(..)
+        | Stmt::Empty => {}
     }
 }
 

@@ -206,9 +206,9 @@ impl Parser {
                 match self.bump() {
                     Tok::Int(n) if n >= 0 => array_len = Some(n as u64),
                     Tok::RBracket => {
-                        return Err(self.err(format!(
-                            "global array `{cur_name}` needs an explicit length"
-                        )))
+                        return Err(
+                            self.err(format!("global array `{cur_name}` needs an explicit length"))
+                        )
                     }
                     other => return Err(self.err(format!("expected array length, found {other}"))),
                 }
@@ -324,11 +324,7 @@ impl Parser {
                 let c = self.expr()?;
                 self.expect(&Tok::RParen)?;
                 let t = Box::new(self.stmt()?);
-                let e = if self.eat(&Tok::KwElse) {
-                    Some(Box::new(self.stmt()?))
-                } else {
-                    None
-                };
+                let e = if self.eat(&Tok::KwElse) { Some(Box::new(self.stmt()?)) } else { None };
                 Ok(Stmt::If { c, t, e })
             }
             Tok::KwWhile => {
@@ -408,9 +404,7 @@ impl Parser {
             if self.eat(&Tok::LBracket) {
                 match self.bump() {
                     Tok::Int(n) if n >= 0 => array_len = Some(n as u64),
-                    other => {
-                        return Err(self.err(format!("expected array length, found {other}")))
-                    }
+                    other => return Err(self.err(format!("expected array length, found {other}"))),
                 }
                 self.expect(&Tok::RBracket)?;
             }
@@ -449,10 +443,7 @@ impl Parser {
         };
         self.bump();
         let rhs = self.assignment()?;
-        Ok(Expr {
-            kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
-            line,
-        })
+        Ok(Expr { kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }, line })
     }
 
     fn ternary(&mut self) -> Result<Expr, ParseError> {
@@ -505,10 +496,7 @@ impl Parser {
             let line = self.line();
             self.bump();
             let rhs = self.binary(prec + 1)?;
-            lhs = Expr {
-                kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)),
-                line,
-            };
+            lhs = Expr { kind: ExprKind::Bin(op, Box::new(lhs), Box::new(rhs)), line };
         }
         Ok(lhs)
     }

@@ -38,11 +38,7 @@ pub fn remove_dead(g: &mut Graph, pm: &mut PredicateMap) -> (usize, usize) {
                             // Nullified load: its value is arbitrary; pick 0
                             // (matching the simulator's convention).
                             let hb = g.hb(op);
-                            let z = g.add_node(
-                                NodeKind::Const { value: 0, ty },
-                                0,
-                                hb,
-                            );
+                            let z = g.add_node(NodeKind::Const { value: 0, ty }, 0, hb);
                             g.replace_all_uses(Src::of(op), Src::of(z));
                         }
                         bypass_token(g, op);

@@ -74,12 +74,8 @@ pub fn load_after_store(g: &mut Graph, pm: &mut PredicateMap) -> LoadStoreStats 
             let hb = g.hb(l);
 
             // Collect the load's value consumers before rewiring.
-            let consumers: Vec<(pegasus::NodeId, u16)> = g
-                .uses(l)
-                .iter()
-                .filter(|u| u.src_port == 0)
-                .map(|u| (u.dst, u.dst_port))
-                .collect();
+            let consumers: Vec<(pegasus::NodeId, u16)> =
+                g.uses(l).iter().filter(|u| u.src_port == 0).map(|u| (u.dst, u.dst_port)).collect();
 
             let ways = stores.len() + usize::from(!covered);
             let mux = g.add_node(NodeKind::Mux { ty: ty.clone() }, 2 * ways, hb);

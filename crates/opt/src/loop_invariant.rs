@@ -25,15 +25,12 @@ pub fn hoist_invariant_loads(g: &mut Graph, oracle: &AliasOracle<'_>) -> usize {
             continue;
         }
         let ivs = find_ivs(g, hb);
-        loop {
-            let Some(load) = find_candidate(g, oracle, hb, &ring, &ivs) else { break };
+        // At most one hoist per call: the ring shape may have changed
+        // (entry slot now spliced), so callers re-invoke to a fixpoint.
+        if let Some(load) = find_candidate(g, oracle, hb, &ring, &ivs) {
             if hoist_one(g, hb, &ring, &ivs, load) {
                 hoisted += 1;
-            } else {
-                break;
             }
-            // Ring shape may have changed (entry slot now spliced).
-            break;
         }
     }
     pegasus::prune_dead(g);
@@ -166,20 +163,12 @@ fn entry_value(
     out
 }
 
-fn hoist_one(
-    g: &mut Graph,
-    hb: u32,
-    ring: &TokenRing,
-    ivs: &IndVars,
-    load: NodeId,
-) -> bool {
+fn hoist_one(g: &mut Graph, hb: u32, ring: &TokenRing, ivs: &IndVars, load: NodeId) -> bool {
     let NodeKind::Load { ty, may } = g.kind(load).clone() else { return false };
     let (entry_port, entry_src) = ring.entries[0];
     let out_hb = g.hb(entry_src.node);
     // Materialize the entry-time address.
-    let Some(addr) =
-        entry_value(g, addr_of(g, load), hb, ivs, &mut HashMap::new(), true)
-    else {
+    let Some(addr) = entry_value(g, addr_of(g, load), hb, ivs, &mut HashMap::new(), true) else {
         return false;
     };
     // The hoisted load, spliced onto the loop's entry token.

@@ -65,7 +65,8 @@ pub enum OptLevel {
 
 impl OptLevel {
     /// All levels, in increasing strength.
-    pub const ALL: [OptLevel; 4] = [OptLevel::None, OptLevel::Basic, OptLevel::Medium, OptLevel::Full];
+    pub const ALL: [OptLevel; 4] =
+        [OptLevel::None, OptLevel::Basic, OptLevel::Medium, OptLevel::Full];
 
     /// The configuration for this level.
     pub fn config(self) -> OptConfig {
@@ -106,11 +107,7 @@ impl OptLevel {
                 store_store: false,
                 load_store: false,
                 loop_invariant: false,
-                pipeline: PipelineConfig {
-                    read_only: false,
-                    monotone: true,
-                    decouple: false,
-                },
+                pipeline: PipelineConfig { read_only: false, monotone: true, decouple: false },
                 max_rounds: 1,
             },
             OptLevel::Full => OptConfig {
@@ -142,6 +139,47 @@ impl fmt::Display for OptLevel {
     }
 }
 
+/// Telemetry for one pass invocation: wall time plus the graph-shape
+/// delta it caused. Collected for every pass the pipeline runs, in run
+/// order, so the full compile can be replayed from the report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStat {
+    /// Pass name (matches the module name in `crates/opt/src`).
+    pub name: &'static str,
+    /// Fixpoint round the invocation ran in (`None` outside the loop).
+    pub round: Option<usize>,
+    /// Wall-clock time of the invocation, microseconds.
+    pub wall_micros: u64,
+    /// Rewrites the invocation performed (its rule-fired count).
+    pub rewrites: usize,
+    /// Live nodes before and after.
+    pub nodes: (usize, usize),
+    /// Connected edges before and after.
+    pub edges: (usize, usize),
+    /// Token edges before and after.
+    pub token_edges: (usize, usize),
+}
+
+impl PassStat {
+    /// Serializes in the shared `cash-stats-v1` JSON dialect.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"pass\":\"{}\",\"round\":{},\"us\":{},\"rewrites\":{},\
+             \"nodes\":[{},{}],\"edges\":[{},{}],\"token_edges\":[{},{}]}}",
+            self.name,
+            self.round.map_or("null".to_string(), |r| r.to_string()),
+            self.wall_micros,
+            self.rewrites,
+            self.nodes.0,
+            self.nodes.1,
+            self.edges.0,
+            self.edges.1,
+            self.token_edges.0,
+            self.token_edges.1,
+        )
+    }
+}
+
 /// What each pass did, for the Figure 18 statistics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct OptReport {
@@ -164,6 +202,8 @@ pub struct OptReport {
     pub static_before: (usize, usize),
     /// (loads, stores) after optimization.
     pub static_after: (usize, usize),
+    /// Per-invocation telemetry, in the order the passes ran.
+    pub passes: Vec<PassStat>,
 }
 
 impl OptReport {
@@ -176,6 +216,64 @@ impl OptReport {
     pub fn store_reduction(&self) -> f64 {
         reduction(self.static_before.1, self.static_after.1)
     }
+
+    /// Total optimizer wall time, microseconds.
+    pub fn total_micros(&self) -> u64 {
+        self.passes.iter().map(|p| p.wall_micros).sum()
+    }
+
+    /// The per-rewrite-rule fired counts, in a fixed order. Zero-count
+    /// rules are included so consumers see a stable schema.
+    pub fn rules(&self) -> [(&'static str, usize); 15] {
+        [
+            ("scalar_rewrites", self.scalar_rewrites),
+            ("token_edges_removed", self.token_edges_removed),
+            ("immutable_loads_folded", self.immutable_loads_folded),
+            ("loads_merged", self.loads_merged),
+            ("stores_merged", self.stores_merged),
+            ("stores_narrowed", self.stores_narrowed),
+            ("stores_removed", self.stores_removed),
+            ("loads_bypassed", self.loads_bypassed),
+            ("loads_removed", self.loads_removed),
+            ("dead_loads", self.dead_loads),
+            ("dead_stores", self.dead_stores),
+            ("loads_hoisted", self.loads_hoisted),
+            ("loops_pipelined", self.loops_pipelined),
+            ("rings_created", self.rings_created),
+            ("token_gens", self.token_gens),
+        ]
+    }
+
+    /// Serializes in the shared `cash-stats-v1` JSON dialect (stable key
+    /// order, no whitespace): aggregate rule counts, the static memory-op
+    /// reduction, and the per-pass timeline.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::from("{\"rules\":{");
+        for (i, (name, n)) in self.rules().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{n}");
+        }
+        let _ = write!(
+            s,
+            "}},\"static\":{{\"loads\":[{},{}],\"stores\":[{},{}]}},\"us\":{},\"passes\":[",
+            self.static_before.0,
+            self.static_after.0,
+            self.static_before.1,
+            self.static_after.1,
+            self.total_micros(),
+        );
+        for (i, p) in self.passes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&p.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
 }
 
 fn reduction(before: usize, after: usize) -> f64 {
@@ -186,51 +284,91 @@ fn reduction(before: usize, after: usize) -> f64 {
     }
 }
 
+/// Times one pass invocation and records its graph-shape delta.
+fn timed(
+    g: &mut Graph,
+    passes: &mut Vec<PassStat>,
+    name: &'static str,
+    round: Option<usize>,
+    f: impl FnOnce(&mut Graph) -> usize,
+) -> usize {
+    let nodes = g.live_count();
+    let edges = g.count_edges();
+    let token_edges = g.count_token_edges();
+    let t0 = std::time::Instant::now();
+    let rewrites = f(g);
+    passes.push(PassStat {
+        name,
+        round,
+        wall_micros: t0.elapsed().as_micros() as u64,
+        rewrites,
+        nodes: (nodes, g.live_count()),
+        edges: (edges, g.count_edges()),
+        token_edges: (token_edges, g.count_token_edges()),
+    });
+    rewrites
+}
+
 /// Runs the configured pipeline over `g`.
 pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> OptReport {
     let mut report = OptReport { static_before: g.count_memory_ops(), ..OptReport::default() };
+    let mut passes = Vec::new();
 
     if cfg.scalar {
-        report.scalar_rewrites += simplify(g);
+        report.scalar_rewrites += timed(g, &mut passes, "scalar", None, simplify);
     }
     if cfg.immutable {
-        report.immutable_loads_folded += fold_immutable_loads(g, oracle);
+        report.immutable_loads_folded +=
+            timed(g, &mut passes, "immutable", None, |g| fold_immutable_loads(g, oracle));
     }
     // Step 2: dissolve unnecessary dependences.
-    report.token_edges_removed += remove_token_edges(g, oracle, cfg.disambiguation);
+    report.token_edges_removed += timed(g, &mut passes, "token_removal", None, |g| {
+        remove_token_edges(g, oracle, cfg.disambiguation)
+    });
 
     // Step 3: redundancy elimination to a fixpoint.
-    for _ in 0..cfg.max_rounds {
+    for round in 0..cfg.max_rounds {
+        let r = Some(round);
         let mut changed = 0;
         let mut pm = PredicateMap::new();
         if cfg.load_store {
-            let s = load_after_store(g, &mut pm);
-            report.loads_bypassed += s.bypassed;
-            report.loads_removed += s.removed;
-            changed += s.bypassed + s.removed;
+            changed += timed(g, &mut passes, "load_store", r, |g| {
+                let s = load_after_store(g, &mut pm);
+                report.loads_bypassed += s.bypassed;
+                report.loads_removed += s.removed;
+                s.bypassed + s.removed
+            });
         }
         if cfg.store_store {
-            let s = store_before_store(g, &mut pm);
-            report.stores_narrowed += s.narrowed;
-            report.stores_removed += s.removed;
-            changed += s.narrowed + s.removed;
+            changed += timed(g, &mut passes, "store_store", r, |g| {
+                let s = store_before_store(g, &mut pm);
+                report.stores_narrowed += s.narrowed;
+                report.stores_removed += s.removed;
+                s.narrowed + s.removed
+            });
         }
         if cfg.merge_ops {
-            let s = merge_equivalent(g, &mut pm);
-            report.loads_merged += s.loads;
-            report.stores_merged += s.stores;
-            changed += s.loads + s.stores;
+            changed += timed(g, &mut passes, "merge_ops", r, |g| {
+                let s = merge_equivalent(g, &mut pm);
+                report.loads_merged += s.loads;
+                report.stores_merged += s.stores;
+                s.loads + s.stores
+            });
         }
         if cfg.dead {
-            let (l, s) = remove_dead(g, &mut pm);
-            report.dead_loads += l;
-            report.dead_stores += s;
-            changed += l + s;
+            changed += timed(g, &mut passes, "dead_mem", r, |g| {
+                let (l, s) = remove_dead(g, &mut pm);
+                report.dead_loads += l;
+                report.dead_stores += s;
+                l + s
+            });
         }
         if cfg.scalar {
-            report.scalar_rewrites += simplify(g);
+            report.scalar_rewrites += timed(g, &mut passes, "scalar", r, simplify);
         }
-        report.token_edges_removed += remove_token_edges(g, oracle, cfg.disambiguation);
+        report.token_edges_removed += timed(g, &mut passes, "token_removal", r, |g| {
+            remove_token_edges(g, oracle, cfg.disambiguation)
+        });
         if changed == 0 {
             break;
         }
@@ -238,7 +376,8 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
     if cfg.loop_invariant {
         // Repeat: each call hoists at most one load per loop.
         loop {
-            let h = hoist_invariant_loads(g, oracle);
+            let h =
+                timed(g, &mut passes, "loop_invariant", None, |g| hoist_invariant_loads(g, oracle));
             report.loads_hoisted += h;
             if h == 0 {
                 break;
@@ -246,16 +385,23 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
         }
     }
     // Step 4: loop pipelining.
-    let p = pipeline_loops(g, cfg.pipeline);
-    report.loops_pipelined = p.loops;
-    report.rings_created = p.extra_rings;
-    report.token_gens = p.token_gens;
+    timed(g, &mut passes, "pipeline", None, |g| {
+        let p = pipeline_loops(g, cfg.pipeline);
+        report.loops_pipelined = p.loops;
+        report.rings_created = p.extra_rings;
+        report.token_gens = p.token_gens;
+        p.loops
+    });
 
     if cfg.scalar {
-        report.scalar_rewrites += simplify(g);
+        report.scalar_rewrites += timed(g, &mut passes, "scalar", None, simplify);
     }
-    pegasus::prune_dead(g);
+    timed(g, &mut passes, "prune_dead", None, |g| {
+        pegasus::prune_dead(g);
+        0
+    });
     report.static_after = g.count_memory_ops();
+    report.passes = passes;
     report
 }
 
@@ -292,12 +438,7 @@ mod tests {
         assert_eq!(report.stores_removed, 2);
         assert_eq!(report.loads_removed, 1);
         pegasus::verify(&g).unwrap();
-        assert_equivalent(
-            &module,
-            &g0,
-            &g,
-            &[vec![0, 2], vec![1, 2], vec![7, 0], vec![-3, 5]],
-        );
+        assert_equivalent(&module, &g0, &g, &[vec![0, 2], vec![1, 2], vec![7, 0], vec![-3, 5]]);
     }
 
     #[test]
@@ -314,11 +455,8 @@ mod tests {
         let mut cycles = Vec::new();
         for level in OptLevel::ALL {
             let cfgc = level.config();
-            let (module, mut g) = if cfgc.rw_sets_at_build {
-                compile_rw(src)
-            } else {
-                compile(src)
-            };
+            let (module, mut g) =
+                if cfgc.rw_sets_at_build { compile_rw(src) } else { compile(src) };
             let oracle = AliasOracle::new(&module);
             optimize(&mut g, &oracle, &cfgc);
             pegasus::verify(&g).unwrap();

@@ -38,8 +38,7 @@ pub fn merge_equivalent(g: &mut Graph, pm: &mut PredicateMap) -> MergeStats {
         let mut merged = false;
         'pairs: for (i, &a) in ops.iter().enumerate() {
             for &b in &ops[i + 1..] {
-                if matches!(g.kind(a), NodeKind::Removed)
-                    || matches!(g.kind(b), NodeKind::Removed)
+                if matches!(g.kind(a), NodeKind::Removed) || matches!(g.kind(b), NodeKind::Removed)
                 {
                     continue;
                 }

@@ -23,7 +23,9 @@
 
 use crate::util::{addr_of, mem_ops_in_hb, size_of, token_in_port, token_out};
 use analysis::affine::{affine_of, Affine};
-use analysis::loopinfo::{find_activation, find_ivs, find_token_ring, iteration_conflict, Conflict};
+use analysis::loopinfo::{
+    find_activation, find_ivs, find_token_ring, iteration_conflict, Conflict,
+};
 use pegasus::{direct_token_deps, set_token_input, Graph, NodeId, NodeKind, Src, VClass};
 use std::collections::HashMap;
 
@@ -206,13 +208,13 @@ fn pipeline_one(g: &mut Graph, hb: u32, cfg: PipelineConfig) -> Option<PipelineS
     let mut comps: Vec<Vec<usize>> = Vec::new();
     {
         let mut map: HashMap<usize, usize> = HashMap::new();
-        for i in 0..n {
+        for (i, slot) in comp_of.iter_mut().enumerate() {
             let r = uf.find(i);
             let c = *map.entry(r).or_insert_with(|| {
                 comps.push(Vec::new());
                 comps.len() - 1
             });
-            comp_of[i] = c;
+            *slot = c;
             comps[c].push(i);
         }
     }
@@ -236,8 +238,7 @@ fn pipeline_one(g: &mut Graph, hb: u32, cfg: PipelineConfig) -> Option<PipelineS
     }
     // Token-generator edges must form a DAG; weld strongly connected
     // components into serial rings.
-    loop {
-        let Some(cycle_pair) = find_cycle_pair(nc, &cross) else { break };
+    while let Some(cycle_pair) = find_cycle_pair(nc, &cross) {
         let (a, b) = cycle_pair;
         // Merge b into a.
         for x in &mut comp_of {
@@ -246,8 +247,7 @@ fn pipeline_one(g: &mut Graph, hb: u32, cfg: PipelineConfig) -> Option<PipelineS
             }
         }
         serial[a] = true;
-        let entries: Vec<((usize, usize), i64)> =
-            cross.iter().map(|(&k, &v)| (k, v)).collect();
+        let entries: Vec<((usize, usize), i64)> = cross.iter().map(|(&k, &v)| (k, v)).collect();
         cross.clear();
         for ((mut s, mut t), d) in entries {
             if s == b {
@@ -277,10 +277,8 @@ fn pipeline_one(g: &mut Graph, hb: u32, cfg: PipelineConfig) -> Option<PipelineS
     for (old, &newi) in &comp_index {
         serial_f[newi] = serial[*old];
     }
-    let cross_f: Vec<(usize, usize, i64)> = cross
-        .iter()
-        .map(|(&(s, t), &d)| (comp_index[&s], comp_index[&t], d))
-        .collect();
+    let cross_f: Vec<(usize, usize, i64)> =
+        cross.iter().map(|(&(s, t), &d)| (comp_index[&s], comp_index[&t], d)).collect();
 
     // Policy gates: a non-serial component needs read_only (loads only) or
     // monotone (has stores) to be pipelined.
@@ -309,10 +307,7 @@ fn pipeline_one(g: &mut Graph, hb: u32, cfg: PipelineConfig) -> Option<PipelineS
     let activation = if cross_f.is_empty() {
         Src::of(ring.merge) // unused placeholder
     } else {
-        match find_activation(g, hb) {
-            Some(a) => a,
-            None => return None, // cannot decouple safely
-        }
+        find_activation(g, hb)? // None: cannot decouple safely
     };
 
     // ---- rebuild ----
@@ -328,7 +323,11 @@ fn pipeline_one(g: &mut Graph, hb: u32, cfg: PipelineConfig) -> Option<PipelineS
     let mut gms: Vec<NodeId> = Vec::with_capacity(ncf);
     let mut ccs: Vec<Src> = Vec::with_capacity(ncf);
     for m in &members {
-        let gm = g.add_node(NodeKind::Merge { vc: VClass::Token, ty: cfgir::types::Type::Bool }, arity, hb);
+        let gm = g.add_node(
+            NodeKind::Merge { vc: VClass::Token, ty: cfgir::types::Type::Bool },
+            arity,
+            hb,
+        );
         for &(port, src) in &ring.entries {
             g.connect(src, gm, port);
         }
@@ -346,9 +345,7 @@ fn pipeline_one(g: &mut Graph, hb: u32, cfg: PipelineConfig) -> Option<PipelineS
         for &i in m {
             let op = ops[i];
             let mine = token_out(g, op);
-            let used_internally = m.iter().any(|&j| {
-                j != i && deps_of[&ops[j]].contains(&mine)
-            });
+            let used_internally = m.iter().any(|&j| j != i && deps_of[&ops[j]].contains(&mine));
             if !used_internally {
                 tails.push(mine);
             }

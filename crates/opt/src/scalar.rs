@@ -47,14 +47,12 @@ fn fold_constants(g: &mut Graph) -> usize {
                     _ => None,
                 }
             }
-            NodeKind::UnOp { op, ty } => g
-                .input(id, 0)
-                .and_then(|i| const_value(g, i.src))
-                .map(|a| (op.eval(&ty, a), ty)),
-            NodeKind::Cast { ty } => g
-                .input(id, 0)
-                .and_then(|i| const_value(g, i.src))
-                .map(|a| (ty.normalize(a), ty)),
+            NodeKind::UnOp { op, ty } => {
+                g.input(id, 0).and_then(|i| const_value(g, i.src)).map(|a| (op.eval(&ty, a), ty))
+            }
+            NodeKind::Cast { ty } => {
+                g.input(id, 0).and_then(|i| const_value(g, i.src)).map(|a| (ty.normalize(a), ty))
+            }
             _ => None,
         };
         if let Some((v, ty)) = folded {
@@ -110,16 +108,11 @@ fn algebraic(g: &mut Graph) -> usize {
                     _ => None,
                 }
             }
-            NodeKind::UnOp { op: UnOp::Not, ty } if ty == Type::Bool => {
+            NodeKind::UnOp { op: UnOp::Not, ty: Type::Bool } => {
                 // !!x -> x
                 let a = g.input(id, 0).map(|i| i.src);
                 match a {
-                    Some(a)
-                        if matches!(
-                            g.kind(a.node),
-                            NodeKind::UnOp { op: UnOp::Not, .. }
-                        ) =>
-                    {
+                    Some(a) if matches!(g.kind(a.node), NodeKind::UnOp { op: UnOp::Not, .. }) => {
                         g.input(a.node, 0).map(|i| i.src)
                     }
                     _ => None,
@@ -304,11 +297,7 @@ mod tests {
         let or = g.pred_or(Src::of(and), Src::of(f), 0);
         // Anchor via an eta so classes stay legal.
         let tok = g.add_node(NodeKind::InitialToken, 0, 0);
-        let eta = g.add_node(
-            NodeKind::Eta { vc: pegasus::VClass::Token, ty: Type::Bool },
-            2,
-            0,
-        );
+        let eta = g.add_node(NodeKind::Eta { vc: pegasus::VClass::Token, ty: Type::Bool }, 2, 0);
         g.connect(Src::of(tok), eta, 0);
         g.connect(Src::of(or), eta, 1);
         let ret = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);
@@ -326,11 +315,7 @@ mod tests {
         let n1 = g.pred_not(Src::of(p), 0);
         let n2 = g.pred_not(Src::of(n1), 0);
         let tok = g.add_node(NodeKind::InitialToken, 0, 0);
-        let eta = g.add_node(
-            NodeKind::Eta { vc: pegasus::VClass::Token, ty: Type::Bool },
-            2,
-            0,
-        );
+        let eta = g.add_node(NodeKind::Eta { vc: pegasus::VClass::Token, ty: Type::Bool }, 2, 0);
         g.connect(Src::of(tok), eta, 0);
         g.connect(Src::of(n2), eta, 1);
         let ret = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);

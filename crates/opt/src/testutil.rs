@@ -23,11 +23,7 @@ fn compile_with(src: &str, rw: bool) -> (Module, Graph) {
     let mut flat = cfgir::inline::inline_all(&module, "main").expect("inlines");
     cfgir::pointsto::recompute_may_sets(&mut flat);
     // Replace main with the flattened version so the oracle sees it.
-    let idx = module
-        .functions
-        .iter()
-        .position(|f| f.name == "main")
-        .expect("main exists");
+    let idx = module.functions.iter().position(|f| f.name == "main").expect("main exists");
     module.functions[idx] = flat;
     let oracle = AliasOracle::new(&module);
     let f = module.function("main").unwrap();
@@ -52,12 +48,7 @@ pub fn run(
 
 /// Asserts that two graphs compute the same result and memory effects for
 /// the given argument vectors (soundness A/B check).
-pub fn assert_equivalent(
-    module: &Module,
-    before: &Graph,
-    after: &Graph,
-    arg_sets: &[Vec<i64>],
-) {
+pub fn assert_equivalent(module: &Module, before: &Graph, after: &Graph, arg_sets: &[Vec<i64>]) {
     for args in arg_sets {
         let (r1, m1, _) = run(module, before, args);
         let (r2, m2, _) = run(module, after, args);

@@ -54,7 +54,7 @@ struct IvContext {
 fn iv_context(g: &Graph, hb: u32) -> IvContext {
     let ivs = find_ivs(g, hb);
     let mut entries = HashMap::new();
-    for (&m, _) in &ivs.steps {
+    for &m in ivs.steps.keys() {
         // Exactly one non-back input -> that is the entry value.
         let node = m.node;
         let mut entry = None;
@@ -153,11 +153,7 @@ fn provably_disjoint(
 
 /// Removes provably unnecessary token edges. Returns the number of direct
 /// dependences dissolved.
-pub fn remove_token_edges(
-    g: &mut Graph,
-    oracle: &AliasOracle<'_>,
-    dis: Disambiguation,
-) -> usize {
+pub fn remove_token_edges(g: &mut Graph, oracle: &AliasOracle<'_>, dis: Disambiguation) -> usize {
     let mut iv_ctx: HashMap<u32, IvContext> = HashMap::new();
     for hb in 0..g.num_hbs {
         if g.hb_is_loop.get(hb as usize).copied().unwrap_or(false) {
@@ -182,9 +178,7 @@ pub fn remove_token_edges(
             let both_loads = is_mem
                 && matches!(g.kind(dn), NodeKind::Load { .. })
                 && matches!(g.kind(op), NodeKind::Load { .. });
-            if is_mem
-                && (both_loads || provably_disjoint(g, oracle, &dis, &iv_ctx, dn, op))
-            {
+            if is_mem && (both_loads || provably_disjoint(g, oracle, &dis, &iv_ctx, dn, op)) {
                 // Dissolve this dependence; inherit its producers.
                 changed = true;
                 removed += 1;
@@ -198,10 +192,7 @@ pub fn remove_token_edges(
                 // Everything dissolved: fall back to the hyperblock's
                 // incoming token, found through the old chain's roots.
                 // (The chain roots are the non-memory sources we saw.)
-                let root = seen
-                    .iter()
-                    .find(|s| !g.kind(s.node).is_memory())
-                    .copied();
+                let root = seen.iter().find(|s| !g.kind(s.node).is_memory()).copied();
                 match root {
                     Some(r) => kept.push(r),
                     None => continue, // keep the old wiring; nothing safe
@@ -243,7 +234,7 @@ pub fn fold_immutable_loads(g: &mut Graph, oracle: &AliasOracle<'_>) -> usize {
             continue;
         }
         let esz = o.elem.size_bytes();
-        if esz != ty.size_bytes() || f.k as u64 % esz != 0 {
+        if esz != ty.size_bytes() || !(f.k as u64).is_multiple_of(esz) {
             continue;
         }
         let idx = (f.k as u64 / esz) as usize;
@@ -280,10 +271,7 @@ mod tests {
         // Every memory op now hangs off the initial token directly.
         for op in mem_ops(&g) {
             for d in direct_token_deps(&g, op) {
-                assert!(
-                    !g.kind(d.node).is_memory(),
-                    "op {op} still depends on a memory op"
-                );
+                assert!(!g.kind(d.node).is_memory(), "op {op} still depends on a memory op");
             }
         }
         pegasus::verify(&g).unwrap();
@@ -292,9 +280,7 @@ mod tests {
     #[test]
     fn symbolic_offsets_disambiguate() {
         // a[i] and a[i+1] (§2): same object, provably different addresses.
-        let (module, mut g) = compile(
-            "void main(unsigned a[], int i) { a[i] = a[i+1]; }",
-        );
+        let (module, mut g) = compile("void main(unsigned a[], int i) { a[i] = a[i+1]; }");
         let oracle = AliasOracle::new(&module);
         let removed = remove_token_edges(&mut g, &oracle, Disambiguation::full());
         assert!(removed >= 1, "store must not wait for the load");
@@ -311,9 +297,8 @@ mod tests {
     #[test]
     fn aliasing_accesses_keep_their_edge() {
         // a[i] and a[j]: may alias, edge must survive.
-        let (module, mut g) = compile(
-            "void main(unsigned a[], int i, int j) { a[i] = 1; a[j] = 2; }",
-        );
+        let (module, mut g) =
+            compile("void main(unsigned a[], int i, int j) { a[i] = 1; a[j] = 2; }");
         let oracle = AliasOracle::new(&module);
         remove_token_edges(&mut g, &oracle, Disambiguation::full());
         let stores: Vec<_> = mem_ops(&g)
@@ -321,9 +306,9 @@ mod tests {
             .filter(|&op| matches!(g.kind(op), NodeKind::Store { .. }))
             .collect();
         assert_eq!(stores.len(), 2);
-        let chained = stores.iter().any(|&s| {
-            direct_token_deps(&g, s).iter().any(|d| stores.contains(&d.node))
-        });
+        let chained = stores
+            .iter()
+            .any(|&s| direct_token_deps(&g, s).iter().any(|d| stores.contains(&d.node)));
         assert!(chained, "may-aliasing stores must stay ordered");
     }
 
@@ -362,10 +347,7 @@ mod tests {
         assert_eq!(folded, 1);
         assert_eq!(g.count_memory_ops(), (0, 0));
         // The return value is now the constant 30.
-        let ret = g
-            .live_ids()
-            .find(|&id| matches!(g.kind(id), NodeKind::Return { .. }))
-            .unwrap();
+        let ret = g.live_ids().find(|&id| matches!(g.kind(id), NodeKind::Return { .. })).unwrap();
         let v = g.input(ret, 2).unwrap().src;
         assert!(matches!(g.kind(v.node), NodeKind::Const { value: 30, .. }));
         pegasus::verify(&g).unwrap();

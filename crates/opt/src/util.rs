@@ -95,7 +95,5 @@ pub fn mem_ops(g: &Graph) -> Vec<NodeId> {
 
 /// All live memory operations within hyperblock `hb`.
 pub fn mem_ops_in_hb(g: &Graph, hb: u32) -> Vec<NodeId> {
-    g.live_ids()
-        .filter(|&id| g.hb(id) == hb && g.kind(id).is_memory())
-        .collect()
+    g.live_ids().filter(|&id| g.hb(id) == hb && g.kind(id).is_memory()).collect()
 }

@@ -120,8 +120,7 @@ struct Builder<'a> {
 impl<'a> Builder<'a> {
     fn run(mut self) -> Result<Graph, BuildError> {
         self.graph.num_hbs = self.hbs.len() as u32;
-        self.graph.hb_is_loop =
-            self.hbs.iter().map(|h| self.hbs.is_loop_hb(h)).collect();
+        self.graph.hb_is_loop = self.hbs.iter().map(|h| self.hbs.is_loop_hb(h)).collect();
 
         // Phase 1: entry merges for every hyperblock.
         let mut entries: Vec<HbEntry> = Vec::with_capacity(self.hbs.len());
@@ -175,13 +174,7 @@ impl<'a> Builder<'a> {
             }
             let token_in = self.graph.add_node(NodeKind::InitialToken, 0, hb);
             let t = self.graph.const_bool(true, hb);
-            return HbEntry {
-                value_merges,
-                token_in,
-                edge_slot,
-                live_in,
-                activation: Src::of(t),
-            };
+            return HbEntry { value_merges, token_in, edge_slot, live_in, activation: Src::of(t) };
         }
         let nin = edges.len();
         let mut value_merges = HashMap::new();
@@ -191,30 +184,14 @@ impl<'a> Builder<'a> {
             let m = self.graph.add_node(NodeKind::Merge { vc, ty }, nin, hb);
             value_merges.insert(r, m);
         }
-        let token_in = self.graph.add_node(
-            NodeKind::Merge { vc: VClass::Token, ty: Type::Bool },
-            nin,
-            hb,
-        );
-        let act = self.graph.add_node(
-            NodeKind::Merge { vc: VClass::Pred, ty: Type::Bool },
-            nin,
-            hb,
-        );
-        HbEntry {
-            value_merges,
-            token_in,
-            edge_slot,
-            live_in,
-            activation: Src::of(act),
-        }
+        let token_in =
+            self.graph.add_node(NodeKind::Merge { vc: VClass::Token, ty: Type::Bool }, nin, hb);
+        let act =
+            self.graph.add_node(NodeKind::Merge { vc: VClass::Pred, ty: Type::Bool }, nin, hb);
+        HbEntry { value_merges, token_in, edge_slot, live_in, activation: Src::of(act) }
     }
 
-    fn build_hyperblock(
-        &mut self,
-        h: HyperblockId,
-        entries: &[HbEntry],
-    ) -> Result<(), BuildError> {
+    fn build_hyperblock(&mut self, h: HyperblockId, entries: &[HbEntry]) -> Result<(), BuildError> {
         let hb = h.0;
         let blocks: Vec<BlockId> = self.hbs.blocks_of(h).to_vec();
         let in_hb: std::collections::HashSet<BlockId> = blocks.iter().copied().collect();
@@ -275,8 +252,7 @@ impl<'a> Builder<'a> {
                         merged.insert(r, first_src);
                     } else {
                         let ty = self.func.ty(r).clone();
-                        let mux =
-                            self.graph.add_node(NodeKind::Mux { ty }, vals.len() * 2, hb);
+                        let mux = self.graph.add_node(NodeKind::Mux { ty }, vals.len() * 2, hb);
                         for (i, (ep, v)) in vals.iter().enumerate() {
                             self.graph.connect(*ep, mux, (2 * i) as u16);
                             self.graph.connect(*v, mux, (2 * i + 1) as u16);
@@ -295,15 +271,14 @@ impl<'a> Builder<'a> {
             }
 
             // Terminator: compute edge predicates.
-            let mut edge =
-                |builder: &mut Self, succ_idx: usize, target: BlockId, ep: Src| {
-                    if in_hb.contains(&target) && target != blocks[0] {
-                        internal_in.entry(target).or_default().push((ep, pos));
-                    } else {
-                        let th = builder.hbs.hb_of(target).expect("reachable target");
-                        out_edges.push((pos, succ_idx, th, ep));
-                    }
-                };
+            let mut edge = |builder: &mut Self, succ_idx: usize, target: BlockId, ep: Src| {
+                if in_hb.contains(&target) && target != blocks[0] {
+                    internal_in.entry(target).or_default().push((ep, pos));
+                } else {
+                    let th = builder.hbs.hb_of(target).expect("reachable target");
+                    out_edges.push((pos, succ_idx, th, ep));
+                }
+            };
             match &blk.term {
                 Terminator::Jump(t) => edge(self, 0, *t, bpred),
                 Terminator::Branch { cond, then_bb, else_bb } => {
@@ -368,11 +343,8 @@ impl<'a> Builder<'a> {
                     self.graph.connect(Src::of(eta), m, slot);
                 }
             }
-            let teta = self.graph.add_node(
-                NodeKind::Eta { vc: VClass::Token, ty: Type::Bool },
-                2,
-                hb,
-            );
+            let teta =
+                self.graph.add_node(NodeKind::Eta { vc: VClass::Token, ty: Type::Bool }, 2, hb);
             self.graph.connect(final_token, teta, 0);
             self.graph.connect(ep, teta, 1);
             if is_back {
@@ -382,11 +354,8 @@ impl<'a> Builder<'a> {
             }
             // Activation: one `true` per taken edge.
             let tconst = self.graph.const_bool(true, hb);
-            let aeta = self.graph.add_node(
-                NodeKind::Eta { vc: VClass::Pred, ty: Type::Bool },
-                2,
-                hb,
-            );
+            let aeta =
+                self.graph.add_node(NodeKind::Eta { vc: VClass::Pred, ty: Type::Bool }, 2, hb);
             self.graph.connect(Src::of(tconst), aeta, 0);
             self.graph.connect(ep, aeta, 1);
             let act_merge = target_entry.activation.node;
@@ -458,11 +427,8 @@ impl<'a> Builder<'a> {
             }
             Instr::Load { dst, addr, ty, may } => {
                 let a = lookup(&env[pos], *addr, bid)?;
-                let n = self.graph.add_node(
-                    NodeKind::Load { ty: ty.clone(), may: may.clone() },
-                    3,
-                    hb,
-                );
+                let n =
+                    self.graph.add_node(NodeKind::Load { ty: ty.clone(), may: may.clone() }, 3, hb);
                 self.graph.connect(a, n, 0);
                 self.graph.connect(bpred, n, 1);
                 // Token (port 2) is connected by insert_tokens.
@@ -515,10 +481,9 @@ impl<'a> Builder<'a> {
                 if in_hb.contains(&s) && s != blocks[0] {
                     let j = pos[&s];
                     reach[i][j] = true;
-                    for k in 0..n {
-                        if reach[j][k] {
-                            reach[i][k] = true;
-                        }
+                    let row = reach[j].clone();
+                    for (dst, r) in reach[i].iter_mut().zip(row) {
+                        *dst |= r;
                     }
                 }
             }
@@ -602,12 +567,13 @@ impl<'a> Builder<'a> {
         }
         // Tails: ops nothing else depends on.
         let mut is_tail = vec![true; n];
-        for i in 0..n {
-            for &j in &deps[i] {
+        for d in &deps {
+            for &j in d {
                 is_tail[j] = false;
             }
         }
-        let tails: Vec<Src> = (0..n).filter(|&i| is_tail[i]).map(|i| token_out(&mem_ops[i])).collect();
+        let tails: Vec<Src> =
+            (0..n).filter(|&i| is_tail[i]).map(|i| token_out(&mem_ops[i])).collect();
         self.combine(tails, hb)
     }
 
@@ -692,10 +658,7 @@ mod tests {
         let stok = g.input(store, 3).unwrap();
         assert!(matches!(g.kind(stok.src.node), NodeKind::InitialToken));
         // Return exists and is wired to the load's token.
-        let ret = g
-            .live_ids()
-            .find(|&id| matches!(g.kind(id), NodeKind::Return { .. }))
-            .unwrap();
+        let ret = g.live_ids().find(|&id| matches!(g.kind(id), NodeKind::Return { .. })).unwrap();
         assert_eq!(g.input(ret, 1).unwrap().src, Src::token_of_load(load));
     }
 
@@ -723,10 +686,8 @@ mod tests {
         f.block_mut(e).term = Terminator::Ret(Some(s));
         let oracle = AliasOracle::new(&m);
         let g = build(&f, &oracle, &BuildOptions::default()).unwrap();
-        let loads: Vec<NodeId> = g
-            .live_ids()
-            .filter(|&id| matches!(g.kind(id), NodeKind::Load { .. }))
-            .collect();
+        let loads: Vec<NodeId> =
+            g.live_ids().filter(|&id| matches!(g.kind(id), NodeKind::Load { .. })).collect();
         assert_eq!(loads.len(), 2);
         // Both read the initial token directly.
         for l in loads {
@@ -734,10 +695,7 @@ mod tests {
             assert!(matches!(g.kind(t.src.node), NodeKind::InitialToken));
         }
         // Final token for the return is a combine of the two load tokens.
-        let ret = g
-            .live_ids()
-            .find(|&id| matches!(g.kind(id), NodeKind::Return { .. }))
-            .unwrap();
+        let ret = g.live_ids().find(|&id| matches!(g.kind(id), NodeKind::Return { .. })).unwrap();
         let ft = g.input(ret, 1).unwrap();
         assert!(matches!(g.kind(ft.src.node), NodeKind::Combine));
     }
@@ -773,10 +731,8 @@ mod tests {
         let oracle = AliasOracle::new(&m);
 
         let g = build(&f, &oracle, &BuildOptions { use_rw_sets: true }).unwrap();
-        let stores: Vec<NodeId> = g
-            .live_ids()
-            .filter(|&id| matches!(g.kind(id), NodeKind::Store { .. }))
-            .collect();
+        let stores: Vec<NodeId> =
+            g.live_ids().filter(|&id| matches!(g.kind(id), NodeKind::Store { .. })).collect();
         for s in &stores {
             let t = g.input(*s, 3).unwrap();
             assert!(
@@ -786,10 +742,8 @@ mod tests {
         }
 
         let g = build(&f, &oracle, &BuildOptions { use_rw_sets: false }).unwrap();
-        let stores: Vec<NodeId> = g
-            .live_ids()
-            .filter(|&id| matches!(g.kind(id), NodeKind::Store { .. }))
-            .collect();
+        let stores: Vec<NodeId> =
+            g.live_ids().filter(|&id| matches!(g.kind(id), NodeKind::Store { .. })).collect();
         let serialized = stores.iter().any(|&s| {
             let t = g.input(s, 3).unwrap();
             stores.contains(&t.src.node)
@@ -801,7 +755,7 @@ mod tests {
     #[test]
     fn loop_builds_merge_eta_cycle() {
         // i = 0; while (i < 10) i = i + 1; return i
-        let mut m = Module::new();
+        let m = Module::new();
         let mut f = Function::new("f", Type::int(32));
         let i = f.new_reg(Type::int(32));
         let ten = f.new_reg(Type::int(32));
@@ -843,7 +797,7 @@ mod tests {
     #[test]
     fn diamond_produces_mux() {
         // if (p) x = 1; else x = 2; return x
-        let mut m = Module::new();
+        let m = Module::new();
         let mut f = Function::new("f", Type::int(32));
         let p = f.add_param(Type::int(32), "p");
         let c = f.new_reg(Type::Bool);
@@ -863,8 +817,7 @@ mod tests {
         f.block_mut(j).term = Terminator::Ret(Some(x));
         let oracle = AliasOracle::new(&m);
         let g = build(&f, &oracle, &BuildOptions::default()).unwrap();
-        let muxes =
-            g.live_ids().filter(|&id| matches!(g.kind(id), NodeKind::Mux { .. })).count();
+        let muxes = g.live_ids().filter(|&id| matches!(g.kind(id), NodeKind::Mux { .. })).count();
         assert_eq!(muxes, 1);
         // Whole thing is a single hyperblock: no merges, no etas.
         assert!(!g.live_ids().any(|id| matches!(g.kind(id), NodeKind::Merge { .. })));

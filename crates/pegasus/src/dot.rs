@@ -1,12 +1,45 @@
 //! Graphviz (DOT) export of Pegasus graphs, in the paper's visual style:
 //! solid edges for data, dotted for predicates, dashed for tokens;
 //! multiplexors as trapezoids, merges/etas as triangles, combines as "V".
+//!
+//! A second mode, [`to_dot_heat`], overlays a simulation profile: nodes are
+//! filled on a white→red ramp by firing count and outlined on a
+//! black→blue ramp by the fraction of the run they spent stalled, turning
+//! the circuit diagram into a heat map of where tokens serialize.
 
 use crate::graph::{Graph, NodeKind, VClass};
 use std::fmt::Write;
 
+/// Per-node measurements for the heat-map overlay ([`to_dot_heat`]).
+///
+/// The slice passed to `to_dot_heat` is indexed by `NodeId::index()`; the
+/// simulator's profile converts to it without `pegasus` depending on the
+/// simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeHeat {
+    /// Dynamic firing count.
+    pub fires: u64,
+    /// Fraction of the simulated run this node spent stalled (0..=1).
+    pub stall_frac: f64,
+}
+
 /// Renders `g` as a DOT digraph.
 pub fn to_dot(g: &Graph, title: &str) -> String {
+    render(g, title, None)
+}
+
+/// Renders `g` with a profile overlay: fill color encodes firing count
+/// (white = never fired, saturated red = hottest node), border color and
+/// width encode stall fraction, and each label carries the raw numbers.
+///
+/// Entries beyond `heat.len()` are treated as cold; this permits profiles
+/// captured on a graph that later grew.
+pub fn to_dot_heat(g: &Graph, title: &str, heat: &[NodeHeat]) -> String {
+    render(g, title, Some(heat))
+}
+
+fn render(g: &Graph, title: &str, heat: Option<&[NodeHeat]>) -> String {
+    let max_fires = heat.map(|h| h.iter().map(|n| n.fires).max().unwrap_or(0)).unwrap_or(0);
     let mut s = String::new();
     let _ = writeln!(s, "digraph \"{title}\" {{");
     let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
@@ -29,14 +62,41 @@ pub fn to_dot(g: &Graph, title: &str) -> String {
             NodeKind::InitialToken => ("*".into(), "plaintext"),
             NodeKind::Removed => continue,
         };
-        let _ = writeln!(
-            s,
-            "  {} [label=\"{}\\n{}\" shape={} ];",
-            id.index(),
-            label,
-            id,
-            shape
-        );
+        match heat {
+            None => {
+                let _ = writeln!(
+                    s,
+                    "  {} [label=\"{}\\n{}\" shape={} ];",
+                    id.index(),
+                    label,
+                    id,
+                    shape
+                );
+            }
+            Some(h) => {
+                let nh = h.get(id.index()).copied().unwrap_or_default();
+                // Fill: white -> red by firing count relative to the
+                // hottest node (HSV hue 0, saturation = heat).
+                let sat = if max_fires == 0 { 0.0 } else { nh.fires as f64 / max_fires as f64 };
+                let stall = nh.stall_frac.clamp(0.0, 1.0);
+                let _ = writeln!(
+                    s,
+                    "  {} [label=\"{}\\n{} f={} s={:.0}%\" shape={} style=filled \
+                     fillcolor=\"0.000 {:.3} 1.000\" color=\"0.611 {:.3} {:.3}\" \
+                     penwidth={:.1} ];",
+                    id.index(),
+                    label,
+                    id,
+                    nh.fires,
+                    100.0 * stall,
+                    shape,
+                    sat,
+                    stall,
+                    0.2 + 0.8 * stall,
+                    1.0 + 3.0 * stall,
+                );
+            }
+        }
     }
     for id in g.live_ids() {
         for p in 0..g.num_inputs(id) {
@@ -66,23 +126,48 @@ mod tests {
     use crate::graph::{NodeKind, Src};
     use cfgir::types::Type;
 
-    #[test]
-    fn dot_contains_nodes_and_styles() {
+    fn tiny_graph() -> Graph {
         let mut g = Graph::new();
         let t = g.add_node(NodeKind::InitialToken, 0, 0);
         let p = g.const_bool(true, 0);
-        let e = g.add_node(
-            NodeKind::Eta { vc: crate::graph::VClass::Token, ty: Type::Bool },
-            2,
-            0,
-        );
+        let e = g.add_node(NodeKind::Eta { vc: crate::graph::VClass::Token, ty: Type::Bool }, 2, 0);
         g.connect(Src::of(t), e, 0);
         g.connect(Src::of(p), e, 1);
-        let dot = to_dot(&g, "test");
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_styles() {
+        let dot = to_dot(&tiny_graph(), "test");
         assert!(dot.starts_with("digraph"));
         assert!(dot.contains("eta"));
         assert!(dot.contains("style=dashed"), "token edge must be dashed");
         assert!(dot.contains("style=dotted"), "predicate edge must be dotted");
         assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn heat_overlay_colors_by_fires_and_stalls() {
+        let g = tiny_graph();
+        let heat = vec![
+            NodeHeat { fires: 1, stall_frac: 0.0 },
+            NodeHeat { fires: 0, stall_frac: 0.0 },
+            NodeHeat { fires: 4, stall_frac: 0.5 },
+        ];
+        let dot = to_dot_heat(&g, "hot", &heat);
+        assert!(dot.contains("style=filled"));
+        // Hottest node is fully saturated; a never-fired node is white.
+        assert!(dot.contains("fillcolor=\"0.000 1.000 1.000\""), "{dot}");
+        assert!(dot.contains("fillcolor=\"0.000 0.000 1.000\""), "{dot}");
+        assert!(dot.contains("f=4 s=50%"), "{dot}");
+        // Plain mode is unchanged by the overlay's existence.
+        assert!(!to_dot(&g, "plain").contains("fillcolor"));
+    }
+
+    #[test]
+    fn heat_overlay_tolerates_short_slices() {
+        let g = tiny_graph();
+        let dot = to_dot_heat(&g, "short", &[NodeHeat { fires: 2, stall_frac: 0.1 }]);
+        assert!(dot.contains("f=0 s=0%"), "missing entries render cold: {dot}");
     }
 }

@@ -195,9 +195,7 @@ impl NodeKind {
             // Cast accepts either scalar class; the verifier special-cases it.
             NodeKind::Cast { .. } => VClass::Data,
             NodeKind::Mux { ty } => {
-                if port % 2 == 0 {
-                    VClass::Pred
-                } else if *ty == Type::Bool {
+                if port.is_multiple_of(2) || *ty == Type::Bool {
                     VClass::Pred
                 } else {
                     VClass::Data
@@ -373,9 +371,10 @@ impl Graph {
         let slot = self.nodes[dst.index()].inputs[dst_port as usize].take();
         if let Some(inp) = slot {
             let u = &mut self.uses[inp.src.node.index()];
-            if let Some(pos) = u.iter().position(|x| {
-                x.src_port == inp.src.port && x.dst == dst && x.dst_port == dst_port
-            }) {
+            if let Some(pos) = u
+                .iter()
+                .position(|x| x.src_port == inp.src.port && x.dst == dst && x.dst_port == dst_port)
+            {
                 u.swap_remove(pos);
             }
         }
@@ -385,9 +384,8 @@ impl Graph {
     /// Replaces the producer feeding input `dst_port` of `dst`, keeping the
     /// back-edge flag unless overridden.
     pub fn replace_input(&mut self, dst: NodeId, dst_port: u16, new_src: Src) {
-        let back = self.nodes[dst.index()].inputs[dst_port as usize]
-            .map(|i| i.back)
-            .unwrap_or(false);
+        let back =
+            self.nodes[dst.index()].inputs[dst_port as usize].map(|i| i.back).unwrap_or(false);
         self.disconnect(dst, dst_port);
         self.connect_impl(new_src, dst, dst_port, back);
     }
@@ -439,10 +437,7 @@ impl Graph {
     ///
     /// Panics if any consumer still reads one of its outputs.
     pub fn remove_node(&mut self, id: NodeId) {
-        assert!(
-            self.uses[id.index()].is_empty(),
-            "removing {id} while it still has uses"
-        );
+        assert!(self.uses[id.index()].is_empty(), "removing {id} while it still has uses");
         for p in 0..self.nodes[id.index()].inputs.len() {
             self.disconnect(id, p as u16);
         }
@@ -474,11 +469,7 @@ impl Graph {
 
     /// Convenience: a boolean constant node.
     pub fn const_bool(&mut self, value: bool, hb: u32) -> NodeId {
-        self.add_node(
-            NodeKind::Const { value: i64::from(value), ty: Type::Bool },
-            0,
-            hb,
-        )
+        self.add_node(NodeKind::Const { value: i64::from(value), ty: Type::Bool }, 0, hb)
     }
 
     /// Convenience: predicate conjunction node `a & b`.
@@ -518,12 +509,31 @@ impl Graph {
         (loads, stores)
     }
 
+    /// Counts connected edges of live nodes.
+    pub fn count_edges(&self) -> usize {
+        self.live_ids()
+            .map(|id| self.nodes[id.index()].inputs.iter().filter(|i| i.is_some()).count())
+            .sum()
+    }
+
+    /// Counts connected edges whose producer output carries a token
+    /// (the memory-dependence edges the optimizer dissolves).
+    pub fn count_token_edges(&self) -> usize {
+        self.live_ids()
+            .map(|id| {
+                self.nodes[id.index()]
+                    .inputs
+                    .iter()
+                    .flatten()
+                    .filter(|i| self.kind(i.src.node).output_class(i.src.port) == VClass::Token)
+                    .count()
+            })
+            .sum()
+    }
+
     /// Counts live token-generator nodes.
     pub fn count_token_gens(&self) -> usize {
-        self.nodes
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::TokenGen { .. }))
-            .count()
+        self.nodes.iter().filter(|n| matches!(n.kind, NodeKind::TokenGen { .. })).count()
     }
 }
 
@@ -595,11 +605,7 @@ mod tests {
     #[test]
     fn back_edges_preserved_by_replace_input() {
         let mut g = Graph::new();
-        let m = g.add_node(
-            NodeKind::Merge { vc: VClass::Token, ty: Type::Bool },
-            2,
-            0,
-        );
+        let m = g.add_node(NodeKind::Merge { vc: VClass::Token, ty: Type::Bool }, 2, 0);
         let t = g.add_node(NodeKind::InitialToken, 0, 0);
         let e = g.add_node(NodeKind::Eta { vc: VClass::Token, ty: Type::Bool }, 2, 0);
         g.connect(Src::of(t), m, 0);

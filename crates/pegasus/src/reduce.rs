@@ -171,10 +171,7 @@ fn token_reaches(g: &Graph, from: Src, to: NodeId, fuel: &mut usize) -> bool {
 /// direct dependence, rebuilding the op's token input. Returns how many
 /// edges were removed.
 pub fn transitive_reduce_tokens(g: &mut Graph) -> usize {
-    let mem_ops: Vec<NodeId> = g
-        .live_ids()
-        .filter(|&id| g.kind(id).is_memory())
-        .collect();
+    let mem_ops: Vec<NodeId> = g.live_ids().filter(|&id| g.kind(id).is_memory()).collect();
     let mut removed = 0;
     for &op in &mem_ops {
         let deps = direct_token_deps(g, op);
@@ -244,10 +241,7 @@ pub fn prune_dead(g: &mut Graph) -> usize {
             .live_ids()
             .filter(|&id| {
                 g.uses(id).is_empty()
-                    && !matches!(
-                        g.kind(id),
-                        NodeKind::Store { .. } | NodeKind::Return { .. }
-                    )
+                    && !matches!(g.kind(id), NodeKind::Store { .. } | NodeKind::Return { .. })
             })
             .collect();
         if dead.is_empty() {

@@ -30,10 +30,9 @@ impl fmt::Display for VerifyError {
             VerifyError::DanglingInput { node, port } => {
                 write!(f, "{node} input {port} is unconnected")
             }
-            VerifyError::ClassMismatch { node, port, expected, got } => write!(
-                f,
-                "{node} input {port} expects {expected:?} but receives {got:?}"
-            ),
+            VerifyError::ClassMismatch { node, port, expected, got } => {
+                write!(f, "{node} input {port} expects {expected:?} but receives {got:?}")
+            }
             VerifyError::BadArity { node, got } => {
                 write!(f, "{node} has {got} inputs, invalid for its kind")
             }
@@ -74,11 +73,7 @@ pub fn verify(g: &Graph) -> Result<(), VerifyError> {
             if !ok {
                 return Err(VerifyError::ClassMismatch { node: id, port, expected, got });
             }
-            if inp.back
-                && !matches!(
-                    node.kind,
-                    NodeKind::Merge { .. } | NodeKind::TokenGen { .. }
-                )
+            if inp.back && !matches!(node.kind, NodeKind::Merge { .. } | NodeKind::TokenGen { .. })
             {
                 return Err(VerifyError::BadBackEdge { node: id, port });
             }
@@ -103,7 +98,7 @@ fn check_arity(id: NodeId, n: usize, kind: &NodeKind) -> Result<(), VerifyError>
         | NodeKind::InitialToken => n == 0,
         NodeKind::BinOp { .. } => n == 2,
         NodeKind::UnOp { .. } | NodeKind::Cast { .. } => n == 1,
-        NodeKind::Mux { .. } => n >= 2 && n % 2 == 0,
+        NodeKind::Mux { .. } => n >= 2 && n.is_multiple_of(2),
         NodeKind::Merge { .. } | NodeKind::Combine => n >= 1,
         NodeKind::Eta { .. } => n == 2,
         NodeKind::Load { .. } => n == 3,
@@ -178,11 +173,7 @@ mod tests {
         g.connect(Src::of(a), l, 0);
         g.connect(Src::of(p), l, 1);
         g.connect(Src::of(t), l, 2);
-        let r = g.add_node(
-            NodeKind::Return { has_value: true, ty: Type::int(32) },
-            3,
-            0,
-        );
+        let r = g.add_node(NodeKind::Return { has_value: true, ty: Type::int(32) }, 3, 0);
         g.connect(Src::of(p), r, 0);
         g.connect(Src::token_of_load(l), r, 1);
         g.connect(Src::of(l), r, 2);
@@ -195,10 +186,7 @@ mod tests {
         let a = g.add_node(NodeKind::Const { value: 1, ty: Type::int(32) }, 0, 0);
         let n = g.add_node(NodeKind::BinOp { op: BinOp::Add, ty: Type::int(32) }, 2, 0);
         g.connect(Src::of(a), n, 0);
-        assert!(matches!(
-            verify(&g),
-            Err(VerifyError::DanglingInput { port: 1, .. })
-        ));
+        assert!(matches!(verify(&g), Err(VerifyError::DanglingInput { port: 1, .. })));
     }
 
     #[test]

@@ -96,7 +96,7 @@ fn adpcm_e() -> Workload {
                     delta |= 1;
                 }
                 code[i] = delta | sign;
-                let change = delta * step >> 2;
+                let change = (delta * step) >> 2;
                 if sign != 0 {
                     pred -= change;
                 } else {
@@ -153,7 +153,7 @@ fn adpcm_d() -> Workload {
                 let delta = c & 7;
                 let sign = c & 8;
                 let step = STEP[index as usize];
-                let change = delta * step >> 2;
+                let change = (delta * step) >> 2;
                 if sign != 0 {
                     pred -= change;
                 } else {
@@ -355,10 +355,7 @@ fn mpeg2_idct() -> Workload {
                     blk[base + 7 - k] = (a - b) * (k as i64 + 1);
                 }
             }
-            blk.iter()
-                .enumerate()
-                .map(|(i, &v)| v * ((i as i64 & 7) + 1))
-                .sum()
+            blk.iter().enumerate().map(|(i, &v)| v * ((i as i64 & 7) + 1)).sum()
         },
     }
 }
@@ -399,10 +396,10 @@ fn jpeg_quant() -> Workload {
             }",
         reference: |n| {
             const QTAB: [i64; 64] = [
-                16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24,
-                40, 57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77,
-                24, 35, 55, 64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95,
-                98, 112, 100, 103, 99,
+                16, 11, 10, 16, 24, 40, 51, 61, 12, 12, 14, 19, 26, 58, 60, 55, 14, 13, 16, 24, 40,
+                57, 69, 56, 14, 17, 22, 29, 51, 87, 80, 62, 18, 22, 37, 56, 68, 109, 103, 77, 24,
+                35, 55, 64, 81, 104, 113, 92, 49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98,
+                112, 100, 103, 99,
             ];
             let n = n as usize;
             let mut acc = 0;
@@ -784,7 +781,7 @@ fn m88k_dispatch() -> Workload {
                 match op {
                     0 => regs[rd] = regs[rs] + imm,
                     1 => regs[rd] = regs[rs] - imm,
-                    2 => regs[rd] = regs[rs] ^ regs[rd],
+                    2 => regs[rd] ^= regs[rs],
                     3 => regs[rd] = regs[rs] & (imm | 1),
                     4 => regs[rd] = regs[rs] << (imm & 7),
                     5 => {
@@ -844,11 +841,7 @@ fn perl_hash() -> Workload {
                 buckets[(h & 63) as usize] += 1;
                 i += 4;
             }
-            buckets
-                .iter()
-                .enumerate()
-                .map(|(k, &b)| b * b + k as i64)
-                .sum()
+            buckets.iter().enumerate().map(|(k, &b)| b * b + k as i64).sum()
         },
     }
 }

@@ -62,9 +62,7 @@ impl Workload {
 
     /// Number of functions defined in the source (Table 2 "Funcs").
     pub fn functions(&self) -> usize {
-        minic::parse(self.source)
-            .map(|p| p.functions().count())
-            .unwrap_or(0)
+        minic::parse(self.source).map(|p| p.functions().count()).unwrap_or(0)
     }
 }
 
@@ -94,8 +92,7 @@ mod tests {
     fn every_kernel_compiles_at_every_level() {
         for w in suite() {
             for level in OptLevel::ALL {
-                w.compile(level)
-                    .unwrap_or_else(|e| panic!("{} at {level}: {e}", w.name));
+                w.compile(level).unwrap_or_else(|e| panic!("{} at {level}: {e}", w.name));
             }
         }
     }

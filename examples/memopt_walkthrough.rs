@@ -49,11 +49,7 @@ fn main() -> Result<(), cash::Error> {
     println!("baseline (\"gcc\"):      {bl}      {bs}");
     println!("CASH full:             {ol}      {os}");
     println!();
-    println!(
-        "removed {} loads and {} stores of the a[i] temporary",
-        bl - ol,
-        bs - os
-    );
+    println!("removed {} loads and {} stores of the a[i] temporary", bl - ol, bs - os);
 
     // The paper's claim: two stores and at least one load disappear.
     assert!(bs - os >= 2, "expected both intermediate stores gone");

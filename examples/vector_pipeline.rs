@@ -35,10 +35,9 @@ fn main() -> Result<(), cash::Error> {
     );
 
     println!("\nmemory system        n   serial  pipelined  speedup");
-    for (name, mem) in [
-        ("perfect", MemSystem::Perfect { latency: 2 }),
-        ("L1/L2/DRAM", MemSystem::default()),
-    ] {
+    for (name, mem) in
+        [("perfect", MemSystem::Perfect { latency: 2 }), ("L1/L2/DRAM", MemSystem::default())]
+    {
         for n in [64i64, 192] {
             let cfg = SimConfig { mem: mem.clone(), ..SimConfig::default() };
             let r0 = serial.simulate(&[n], &cfg)?;

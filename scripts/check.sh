@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, formatting, lints.
+# Usage: scripts/check.sh [--fix]   (--fix applies rustfmt instead of checking)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMT_ARGS=(--check)
+if [[ "${1:-}" == "--fix" ]]; then
+    FMT_ARGS=()
+fi
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo fmt ${FMT_ARGS[*]:-(write)}"
+cargo fmt --all -- "${FMT_ARGS[@]+"${FMT_ARGS[@]}"}"
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK: build, tests, fmt and clippy all clean"

@@ -137,8 +137,8 @@ fn nested_loops_with_three_inner() {
         let mut a = [0i64; 8];
         let mut acc = 0;
         for i in 0..n {
-            for k in 0..4 {
-                acc += a[k];
+            for &v in &a[..4] {
+                acc += v;
             }
             for k in (1..4).rev() {
                 a[k] = a[k - 1];
@@ -317,10 +317,7 @@ fn results_are_invariant_under_hardware_sizing() {
                 let key = (r.ret, r.stats.loads, r.stats.stores);
                 match &expect {
                     None => expect = Some(key),
-                    Some(e) => assert_eq!(
-                        *e, key,
-                        "{level}: cap={cap} ports={ports} size={size}"
-                    ),
+                    Some(e) => assert_eq!(*e, key, "{level}: cap={cap} ports={ports} size={size}"),
                 }
             }
         }

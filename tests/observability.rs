@@ -1,0 +1,223 @@
+//! Observability end-to-end: per-node circuit profiles, the Perfetto
+//! (Chrome trace-event) exporter, the heat-map dot overlay, the shared
+//! telemetry JSON, and deadlock diagnostics.
+
+use cash::{Compiler, OptLevel, SimConfig};
+use pegasus::NodeKind;
+
+const LOOP_SRC: &str = "
+    int a[16];
+    int main(int n) {
+        for (int i = 0; i < n; i++) a[i] = i * 2;
+        return a[3];
+    }";
+
+fn observed(level: OptLevel, n: i64) -> (cash::Program, cash::SimResult) {
+    let p = Compiler::new().level(level).compile(LOOP_SRC).unwrap();
+    let cfg = SimConfig { profile: true, trace: true, ..SimConfig::perfect() };
+    let r = p.simulate(&[n], &cfg).unwrap();
+    (p, r)
+}
+
+/// A loop with a known trip count must produce exact per-node firing
+/// counts: the body store fires once per iteration, the exit load and the
+/// return fire exactly once, and the profile's totals agree with the
+/// aggregate counters.
+#[test]
+fn loop_profile_has_exact_firing_counts() {
+    let n = 8;
+    let (p, r) = observed(OptLevel::None, n);
+    assert_eq!(r.ret, Some(6));
+    let prof = r.profile.as_ref().expect("profiling enabled");
+    assert_eq!(prof.total_fires(), r.fired, "profile must account for every firing");
+    assert_eq!(prof.cycles, r.cycles);
+
+    let by_kind = |pred: fn(&NodeKind) -> bool| -> Vec<pegasus::NodeId> {
+        p.graph.live_ids().filter(|&id| pred(p.graph.kind(id))).collect()
+    };
+    let stores = by_kind(|k| matches!(k, NodeKind::Store { .. }));
+    let loads = by_kind(|k| matches!(k, NodeKind::Load { .. }));
+    let rets = by_kind(|k| matches!(k, NodeKind::Return { .. }));
+    assert_eq!(stores.len(), 1, "one static store");
+    assert_eq!(loads.len(), 1, "one static load");
+    assert_eq!(rets.len(), 1);
+
+    // Predicated execution: the body store consumes one wave per iteration
+    // plus the nullified exit wave (n+1 firings), but only the n
+    // true-predicate firings reach memory.
+    let store = prof.node(stores[0]);
+    assert_eq!(store.fires, n as u64 + 1, "store fires n+1 times");
+    assert_eq!(r.stats.stores, n as u64, "only n firings access memory");
+    assert_eq!(prof.node(loads[0]).fires, 1, "exit load fires once");
+    assert_eq!(prof.node(rets[0]).fires, 1, "return fires once");
+    assert!(store.first_fire.unwrap() <= store.last_fire.unwrap());
+    assert!(store.last_fire.unwrap() < r.cycles);
+
+    // The loop condition (the only `lt` in the circuit) sees every
+    // iteration plus the exit test: n + 1 firings.
+    let lts = by_kind(|k| matches!(k, NodeKind::BinOp { op: cfgir::types::BinOp::Lt, .. }));
+    assert_eq!(lts.len(), 1);
+    assert_eq!(prof.node(lts[0]).fires, n as u64 + 1, "loop test fires n+1 times");
+
+    // Dependent stores serialize through the token chain at level None, so
+    // somebody must have measurably stalled on a token input.
+    let total_token_stall: u64 = prof.nodes.iter().map(|np| np.stalled_token).sum();
+    assert!(total_token_stall > 0, "token chain must show up as token stalls");
+
+    // The rankings are consistent with the raw counters.
+    let hottest = prof.hottest(3);
+    assert!(!hottest.is_empty());
+    assert!(hottest[0].1 >= prof.node(stores[0]).fires);
+}
+
+/// Profiling and tracing are opt-in: the plain configs return `None` for
+/// both, keeping the uninstrumented path allocation-free.
+#[test]
+fn observability_is_off_by_default() {
+    let p = Compiler::new().level(OptLevel::Full).compile(LOOP_SRC).unwrap();
+    let r = p.simulate(&[4], &SimConfig::perfect()).unwrap();
+    assert!(r.profile.is_none());
+    assert!(r.trace.is_none());
+}
+
+/// The trace exporter is deterministic: same program, same input -> byte
+/// identical Chrome trace JSON, pinned against a golden literal for a
+/// minimal circuit.
+#[test]
+fn perfetto_export_is_golden_and_byte_stable() {
+    let p =
+        Compiler::new().level(OptLevel::Full).compile("int main(int x) { return x + 1; }").unwrap();
+    let cfg = SimConfig { trace: true, ..SimConfig::perfect() };
+    let run = || {
+        let r = p.simulate(&[41], &cfg).unwrap();
+        assert_eq!(r.ret, Some(42));
+        p.trace_to_chrome_json(r.trace.as_ref().expect("tracing enabled"))
+    };
+    let json = run();
+    assert_eq!(json, run(), "two runs must serialize identically");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden/minimal_trace.json");
+        std::fs::write(path, format!("{json}\n")).unwrap();
+    }
+    let golden = include_str!("golden/minimal_trace.json").trim_end();
+    assert_eq!(json, golden, "trace schema or scheduling drifted from the golden file (rerun with UPDATE_GOLDEN=1 to bless)");
+}
+
+/// The bigger loop trace holds firings and memory slices, stays
+/// deterministic, and every record is on the simulated-cycle timeline.
+#[test]
+fn loop_trace_covers_firings_and_memory() {
+    let (p, r) = observed(OptLevel::None, 8);
+    let trace = r.trace.as_ref().unwrap();
+    let fires =
+        trace.events.iter().filter(|e| matches!(e, cash::TraceEvent::Fire { .. })).count() as u64;
+    assert_eq!(fires, r.fired, "one Fire slice per firing");
+    let mems =
+        trace.events.iter().filter(|e| matches!(e, cash::TraceEvent::Mem { .. })).count() as u64;
+    assert_eq!(mems, r.stats.loads + r.stats.stores, "one Mem slice per access");
+    let json = p.trace_to_chrome_json(trace);
+    assert!(json.contains("\"cat\":\"mem\""));
+    assert!(json.contains("\"ph\":\"C\""), "LSQ occupancy counter track present");
+    assert_eq!(json, p.trace_to_chrome_json(r.trace.as_ref().unwrap()));
+}
+
+/// The heat-map overlay colors hot nodes and widens stalled borders.
+#[test]
+fn heat_map_overlay_reflects_the_profile() {
+    let (p, r) = observed(OptLevel::None, 8);
+    let prof = r.profile.as_ref().unwrap();
+    let dot = p.to_dot_heat(prof);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("fillcolor=\"0.000"), "firing-count fill present");
+    // The hottest node is saturated red; something cold stays white.
+    assert!(dot.contains("fillcolor=\"0.000 1.000 1.000\""));
+    assert!(dot.contains("fillcolor=\"0.000 0.000 1.000\""));
+}
+
+/// Profile and combined stats serialize under the shared JSON schema.
+#[test]
+fn telemetry_shares_one_json_schema() {
+    let (p, r) = observed(OptLevel::Full, 8);
+    let prof_json = p.profile_to_json(r.profile.as_ref().unwrap());
+    assert!(prof_json.starts_with("{\"cycles\":"));
+    assert!(prof_json.contains("\"stalled\":{\"data\":"));
+
+    let rec = cash::StatsRecord {
+        bench: "test",
+        kernel: "loop",
+        level: "Full",
+        system: "perfect",
+        opt: &p.report,
+        sim: &r,
+    };
+    let line = rec.to_json();
+    assert!(line.starts_with("{\"schema\":\"cash-stats-v1\""));
+    assert!(line.contains("\"passes\":[{\"pass\":\"scalar\""));
+    assert!(line.contains("\"sim\":{\"ret\":6"));
+    assert!(!line.contains('\n'));
+
+    // Pass telemetry adds up and records real deltas.
+    assert!(!p.report.passes.is_empty());
+    let pruned = p.report.passes.iter().find(|ps| ps.name == "prune_dead").unwrap();
+    assert!(pruned.nodes.1 <= pruned.nodes.0, "prune never grows the graph");
+    // Rule counters agree with the per-pass rewrite counts (the pipeline
+    // pass reports loops as its rewrite count; rings/token-gens are
+    // byproducts counted by rule only).
+    let rules: usize = p.report.rules().iter().map(|(_, v)| *v).sum();
+    let rewrites: usize = p.report.passes.iter().map(|ps| ps.rewrites).sum();
+    assert_eq!(rules, rewrites + p.report.rings_created + p.report.token_gens);
+}
+
+/// A deadlocked circuit names the blocked nodes and the input class each
+/// one is missing, both in the error itself and in `diagnose`'s dump.
+#[test]
+fn deadlock_reports_blocked_nodes_and_missing_inputs() {
+    use cfgir::objects::ObjectSet;
+    use cfgir::types::{BinOp, Type};
+    use cfgir::Module;
+    use pegasus::{Src, VClass};
+
+    // A return whose token never arrives: an eta with a dynamically false
+    // predicate swallows it (same shape as the ashsim unit test).
+    let module = Module::new();
+    let mut g = pegasus::Graph::new();
+    let t = g.add_node(NodeKind::InitialToken, 0, 0);
+    let ptrue = g.const_bool(true, 0);
+    let addr = g.add_node(NodeKind::Const { value: 0x1000, ty: Type::int(64) }, 0, 0);
+    let l = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+    g.connect(Src::of(addr), l, 0);
+    g.connect(Src::of(ptrue), l, 1);
+    g.connect(Src::of(t), l, 2);
+    let zero = g.add_node(NodeKind::Const { value: 0, ty: Type::int(32) }, 0, 0);
+    let lt = g.add_node(NodeKind::BinOp { op: BinOp::Lt, ty: Type::Bool }, 2, 0);
+    g.connect(Src::of(l), lt, 0);
+    g.connect(Src::of(zero), lt, 1);
+    let eta = g.add_node(NodeKind::Eta { vc: VClass::Token, ty: Type::Bool }, 2, 0);
+    g.connect(Src::token_of_load(l), eta, 0);
+    g.connect(Src::of(lt), eta, 1);
+    let ret = g.add_node(NodeKind::Return { has_value: false, ty: Type::Void }, 2, 0);
+    g.connect(Src::of(ptrue), ret, 0);
+    g.connect(Src::of(eta), ret, 1);
+
+    let mut machine = ashsim::Machine::new(&module, ashsim::MemSystem::Perfect { latency: 2 });
+    let err = ashsim::simulate(&g, &mut machine, &[], &SimConfig::perfect()).unwrap_err();
+    let cash::SimError::Deadlock { cycle, ref blocked } = err else {
+        panic!("expected deadlock, got {err}");
+    };
+    assert!(cycle > 0);
+    assert!(!blocked.is_empty(), "deadlock must name the stuck nodes");
+    let ret_block = blocked.iter().find(|b| b.node == ret).expect("return is stuck");
+    assert!(
+        ret_block.missing.iter().any(|&(_, c)| c == VClass::Token),
+        "the return is missing its token input: {ret_block}"
+    );
+    let msg = err.to_string();
+    assert!(msg.contains("dataflow deadlock at cycle"), "{msg}");
+    assert!(msg.contains("waiting on"), "{msg}");
+
+    // `diagnose` adds FIFO depths on top of the same report.
+    let mut machine = ashsim::Machine::new(&module, ashsim::MemSystem::Perfect { latency: 2 });
+    let (e2, dump) = ashsim::diagnose(&g, &mut machine, &[], &SimConfig::perfect()).unwrap_err();
+    assert_eq!(e2, err);
+    assert!(dump.contains("fifo lens"), "{dump}");
+}

@@ -1,9 +1,28 @@
-//! Optimizer soundness: property-based A/B testing. Random programs from a
-//! structured generator are compiled at `None` and `Full` and must agree on
-//! results and final memory for several inputs.
+//! Optimizer soundness: randomized A/B testing. Random programs from a
+//! structured generator (seeded xorshift PRNG, so runs are reproducible)
+//! are compiled at `None` and `Full` and must agree on results and memory
+//! traffic for several inputs.
 
 use cash::{Compiler, OptLevel, SimConfig};
-use proptest::prelude::*;
+
+/// Minimal deterministic PRNG (xorshift64*): enough to drive the program
+/// generator without an external dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
 
 /// A tiny random-program generator: straight-line and looped accesses over
 /// two arrays with data-dependent branches.
@@ -18,16 +37,18 @@ enum Op {
     LoopAcc { len: u8 },
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..8, any::<i8>()).prop_map(|(idx, val)| Op::StoreA { idx, val }),
-        (0u8..8, any::<i8>()).prop_map(|(idx, val)| Op::StoreB { idx, val }),
-        (0u8..8).prop_map(|idx| Op::AccLoadA { idx }),
-        (0u8..8).prop_map(|idx| Op::AccLoadB { idx }),
-        (0u8..8, any::<i8>()).prop_map(|(idx, val)| Op::CondStoreA { idx, val }),
-        (1u8..6, 0u8..3).prop_map(|(len, off)| Op::LoopCopy { len, off }),
-        (1u8..8).prop_map(|len| Op::LoopAcc { len }),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    let idx = rng.below(8) as u8;
+    let val = rng.next() as i8;
+    match rng.below(7) {
+        0 => Op::StoreA { idx, val },
+        1 => Op::StoreB { idx, val },
+        2 => Op::AccLoadA { idx },
+        3 => Op::AccLoadB { idx },
+        4 => Op::CondStoreA { idx, val },
+        5 => Op::LoopCopy { len: 1 + rng.below(5) as u8, off: rng.below(3) as u8 },
+        _ => Op::LoopAcc { len: 1 + rng.below(7) as u8 },
+    }
 }
 
 fn emit(ops: &[Op]) -> String {
@@ -41,9 +62,9 @@ fn emit(ops: &[Op]) -> String {
             Op::CondStoreA { idx, val } => {
                 format!("if ((x + {k}) & 1) a[{idx}] = {val};")
             }
-            Op::LoopCopy { len, off } => format!(
-                "for (int i = 0; i < {len}; i++) b[i + {off}] = a[i] + 1;"
-            ),
+            Op::LoopCopy { len, off } => {
+                format!("for (int i = 0; i < {len}; i++) b[i + {off}] = a[i] + 1;")
+            }
             Op::LoopAcc { len } => {
                 format!("for (int i = 0; i < {len}; i++) acc += a[i] ^ b[i];")
             }
@@ -64,28 +85,31 @@ fn emit(ops: &[Op]) -> String {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    #[test]
-    fn optimizer_preserves_program_behaviour(ops in proptest::collection::vec(op(), 1..10)) {
+#[test]
+fn optimizer_preserves_program_behaviour() {
+    let mut rng = Rng(0x5eed_0004);
+    for case in 0..24 {
+        let n_ops = 1 + rng.below(9) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
         let src = emit(&ops);
-        let base = Compiler::new().level(OptLevel::None).compile(&src)
-            .expect("baseline compiles");
-        let full = Compiler::new().level(OptLevel::Full).compile(&src)
-            .expect("optimized compiles");
+        let base = Compiler::new().level(OptLevel::None).compile(&src).expect("baseline compiles");
+        let full = Compiler::new().level(OptLevel::Full).compile(&src).expect("optimized compiles");
         for x in [0i64, 1, -3, 42] {
             let r0 = base.simulate(&[x], &SimConfig::perfect()).expect("baseline runs");
             let r1 = full.simulate(&[x], &SimConfig::perfect()).expect("optimized runs");
-            prop_assert_eq!(r0.ret, r1.ret, "x={} src:\n{}", x, src);
+            assert_eq!(r0.ret, r1.ret, "case {case} x={x} src:\n{src}");
             // The optimizer must never *increase* memory traffic.
-            prop_assert!(
+            assert!(
                 r1.stats.loads <= r0.stats.loads,
-                "loads grew {} -> {} for:\n{}", r0.stats.loads, r1.stats.loads, src
+                "loads grew {} -> {} for:\n{src}",
+                r0.stats.loads,
+                r1.stats.loads,
             );
-            prop_assert!(
+            assert!(
                 r1.stats.stores <= r0.stats.stores,
-                "stores grew {} -> {} for:\n{}", r0.stats.stores, r1.stats.stores, src
+                "stores grew {} -> {} for:\n{src}",
+                r0.stats.stores,
+                r1.stats.stores,
             );
         }
     }

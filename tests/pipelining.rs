@@ -25,10 +25,7 @@ fn producer_consumer_pipelines() {
     let (slow, r0) = cycles(src, OptLevel::Basic, 96, &cfg);
     let (fast, r1) = cycles(src, OptLevel::Full, 96, &cfg);
     assert_eq!(r0, r1);
-    assert!(
-        fast as f64 <= slow as f64 * 0.8,
-        "expected ≥20% gain: {slow} -> {fast}"
-    );
+    assert!(fast as f64 <= slow as f64 * 0.8, "expected ≥20% gain: {slow} -> {fast}");
 }
 
 #[test]
@@ -71,10 +68,7 @@ fn token_generator_bounds_slip_functionally() {
             (0..n).map(|i| a[i] * (i as i64 + 1)).sum::<i64>()
         };
         let p = Compiler::new().level(OptLevel::Full).compile(&src).unwrap();
-        assert!(
-            p.graph.count_token_gens() >= 1,
-            "distance {d} should produce a token generator"
-        );
+        assert!(p.graph.count_token_gens() >= 1, "distance {d} should produce a token generator");
         let r = p.simulate(&[40], &SimConfig::perfect()).unwrap();
         assert_eq!(r.ret, Some(reference), "distance {d}");
     }
@@ -98,10 +92,7 @@ fn read_only_loops_do_not_regress() {
     let (serial, r0) = cycles(src, OptLevel::Basic, 128, &cfg);
     let (pipelined, r1) = cycles(src, OptLevel::Full, 128, &cfg);
     assert_eq!(r0, r1);
-    assert!(
-        pipelined <= serial,
-        "pipelined {pipelined} vs serial {serial}"
-    );
+    assert!(pipelined <= serial, "pipelined {pipelined} vs serial {serial}");
 }
 
 #[test]

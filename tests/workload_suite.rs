@@ -57,10 +57,7 @@ fn suite_shows_aggregate_speedup() {
         base_total += w.run(OptLevel::None, w.default_arg, &cfg).unwrap().cycles;
         full_total += w.run(OptLevel::Full, w.default_arg, &cfg).unwrap().cycles;
     }
-    assert!(
-        full_total < base_total,
-        "suite total must improve: {base_total} -> {full_total}"
-    );
+    assert!(full_total < base_total, "suite total must improve: {base_total} -> {full_total}");
 }
 
 #[test]
