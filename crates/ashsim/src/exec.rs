@@ -246,6 +246,14 @@ struct MemRequest {
     enqueued: u64,
 }
 
+/// One outstanding output slot of a memory node (see `Executor::mem_out`).
+enum PendingOut {
+    /// A queued LSQ request will fill this slot when it issues.
+    Real,
+    /// A nullified firing's instant value, blocked behind a `Real` slot.
+    Null(i64),
+}
+
 struct TokenGenState {
     credits: u64,
     /// Predicates seen but not yet granted, in arrival order. `true`
@@ -269,6 +277,11 @@ struct Executor<'a> {
     /// memory operation completes instantly; a cache miss takes dozens of
     /// cycles).
     out_horizon: HashMap<(u32, u16), u64>,
+    /// Outstanding output slots per memory-node port, in firing order: a
+    /// `Real` slot is an LSQ request whose result has not been scheduled
+    /// yet; `Null` slots are nullified-firing values waiting behind it
+    /// (see [`Self::emit_mem_or_defer`]).
+    mem_out: HashMap<(u32, u16), VecDeque<PendingOut>>,
     /// Sticky (run-time constant) value of each node's output 0.
     sticky: Vec<Option<i64>>,
     /// Nodes with all-sticky inputs: they fire exactly once.
@@ -412,6 +425,7 @@ impl<'a> Executor<'a> {
             fifos,
             reserved: HashMap::new(),
             out_horizon: HashMap::new(),
+            mem_out: HashMap::new(),
             sticky,
             once_only,
             has_fired: vec![false; n],
@@ -630,6 +644,46 @@ impl<'a> Executor<'a> {
         let t2 = t.max(*h);
         *h = t2;
         self.push_event(t2, Ev::Deliver { node: id, port, value });
+    }
+
+    /// Emission path for a *nullified* memory operation's outputs. The
+    /// horizon alone is not enough to keep the channel in FIFO order: a
+    /// predicate-true firing only *queues* an LSQ request, and its result
+    /// stamps the horizon at issue time — after a same-cycle nullified
+    /// firing would already have scheduled its instant value. So when real
+    /// requests are outstanding on this port, the nullified value queues
+    /// behind them and is flushed by [`Self::complete_mem`].
+    fn emit_mem_or_defer(&mut self, id: NodeId, port: u16, value: i64) {
+        match self.mem_out.get_mut(&(id.0, port)) {
+            Some(q) if !q.is_empty() => q.push_back(PendingOut::Null(value)),
+            _ => self.emit_ordered(id, port, value, self.now),
+        }
+    }
+
+    /// Records that a predicate-true firing of `(id, port)` has a queued
+    /// LSQ request whose output slot must be filled before any later
+    /// nullified value on the same port.
+    fn expect_mem_result(&mut self, id: NodeId, port: u16) {
+        self.mem_out.entry((id.0, port)).or_default().push_back(PendingOut::Real);
+    }
+
+    /// Delivers a completed memory access's output: fills the oldest
+    /// outstanding `Real` slot, then flushes nullified values queued
+    /// behind it (the LSQ issues one node's requests in firing order, so
+    /// slots complete front-to-back).
+    fn complete_mem(&mut self, id: NodeId, port: u16, value: i64, t: u64) {
+        let q = self.mem_out.get_mut(&(id.0, port)).expect("completion without slot");
+        let front = q.pop_front();
+        debug_assert!(matches!(front, Some(PendingOut::Real)), "slot order broken");
+        let mut flush = Vec::new();
+        while let Some(&PendingOut::Null(v)) = q.front() {
+            q.pop_front();
+            flush.push(v);
+        }
+        self.emit_ordered(id, port, value, t);
+        for v in flush {
+            self.emit_ordered(id, port, v, self.now);
+        }
     }
 
     /// Builds the final [`SimResult`], closing open stall windows and
@@ -912,9 +966,11 @@ impl<'a> Executor<'a> {
                 if pred == 0 {
                     // Nullified: arbitrary value, instant token (§3.1) —
                     // but never overtaking earlier in-flight results.
-                    self.emit_ordered(id, 0, 0, self.now);
-                    self.emit_ordered(id, 1, 1, self.now);
+                    self.emit_mem_or_defer(id, 0, 0);
+                    self.emit_mem_or_defer(id, 1, 1);
                 } else {
+                    self.expect_mem_result(id, 0);
+                    self.expect_mem_result(id, 1);
                     self.lsq_queue.push_back(MemRequest {
                         node: id,
                         addr,
@@ -941,8 +997,9 @@ impl<'a> Executor<'a> {
                 self.pop_input(id, 3); // token
                 self.reserve(id, 0);
                 if pred == 0 {
-                    self.emit_ordered(id, 0, 1, self.now);
+                    self.emit_mem_or_defer(id, 0, 1);
                 } else {
+                    self.expect_mem_result(id, 0);
                     self.lsq_queue.push_back(MemRequest {
                         node: id,
                         addr,
@@ -1045,7 +1102,7 @@ impl<'a> Executor<'a> {
                 self.machine.store(req.addr, &ty, req.value);
                 // Token as soon as the store is ordered (§3.2: "the token
                 // can be generated before memory has been updated").
-                self.emit_ordered(req.node, 0, 1, self.now + 1);
+                self.complete_mem(req.node, 0, 1, self.now + 1);
             } else {
                 let ty = match self.g.kind(req.node) {
                     NodeKind::Load { ty, .. } => ty.clone(),
@@ -1053,8 +1110,8 @@ impl<'a> Executor<'a> {
                 };
                 let v = self.machine.load(req.addr, &ty);
                 // Value when the access completes; token once ordered.
-                self.emit_ordered(req.node, 0, v, self.now + lat);
-                self.emit_ordered(req.node, 1, 1, self.now + 1);
+                self.complete_mem(req.node, 0, v, self.now + lat);
+                self.complete_mem(req.node, 1, 1, self.now + 1);
             }
             self.lsq_in_flight += 1;
             self.push_event(self.now + lat, Ev::LsqRelease);
@@ -1097,4 +1154,152 @@ fn alu_latency(op: BinOp) -> u64 {
 #[doc(hidden)]
 pub fn normalize(ty: &Type, v: i64) -> i64 {
     ty.normalize(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::objects::{MemObject, ObjectSet};
+    use cfgir::Module;
+
+    fn one_cell_module(init: i64) -> (Module, u64) {
+        let mut m = Module::new();
+        m.add_object(MemObject::global("a", Type::int(32), 1).with_init(vec![init]));
+        (m, 0x1000) // first object lands at BASE_ADDR
+    }
+
+    fn perfect(latency: u64) -> SimConfig {
+        SimConfig {
+            mem: MemSystem::Perfect { latency },
+            max_cycles: 10_000,
+            ..SimConfig::default()
+        }
+    }
+
+    /// store a[0] = 7 ; token-ordered load a[0] ; return it.
+    fn store_then_load(store_pred: bool) -> (Module, Graph) {
+        let (module, base) = one_cell_module(5);
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        let ptrue = g.const_bool(true, 0);
+        let sp = g.const_bool(store_pred, 0);
+        let addr = g.add_node(NodeKind::Const { value: base as i64, ty: Type::int(64) }, 0, 0);
+        let seven = g.add_node(NodeKind::Const { value: 7, ty: Type::int(32) }, 0, 0);
+        let st = g.add_node(NodeKind::Store { ty: Type::int(32), may: ObjectSet::Top }, 4, 0);
+        g.connect(Src::of(addr), st, 0);
+        g.connect(Src::of(seven), st, 1);
+        g.connect(Src::of(sp), st, 2);
+        g.connect(Src::of(t), st, 3);
+        let ld = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        g.connect(Src::of(addr), ld, 0);
+        g.connect(Src::of(ptrue), ld, 1);
+        g.connect(Src::of(st), ld, 2); // the store's token orders the load
+        let ret = g.add_node(NodeKind::Return { has_value: true, ty: Type::int(32) }, 3, 0);
+        g.connect(Src::of(ptrue), ret, 0);
+        g.connect(Src::token_of_load(ld), ret, 1);
+        g.connect(Src::of(ld), ret, 2);
+        (module, g)
+    }
+
+    #[test]
+    fn token_ordered_load_sees_an_in_flight_store() {
+        // §3.2 / §7.3: the store's token is generated as soon as the access
+        // is ordered in the LSQ, not when it completes, and the dependent
+        // load is forwarded the stored value. With a 40-cycle memory the
+        // pair must finish in well under two full round trips.
+        let (module, g) = store_then_load(true);
+        let mut machine = Machine::new(&module, MemSystem::Perfect { latency: 40 });
+        let r = simulate(&g, &mut machine, &[], &perfect(40)).unwrap();
+        assert_eq!(r.ret, Some(7));
+        assert_eq!(r.stats.stores, 1);
+        assert_eq!(r.stats.loads, 1);
+        assert!(r.cycles < 80, "no forwarding: {} cycles", r.cycles);
+    }
+
+    #[test]
+    fn nullified_store_releases_its_token_without_touching_memory() {
+        let (module, g) = store_then_load(false);
+        let mut machine = Machine::new(&module, MemSystem::Perfect { latency: 2 });
+        let r = simulate(&g, &mut machine, &[], &perfect(2)).unwrap();
+        assert_eq!(r.ret, Some(5), "load must see the initial value");
+        assert_eq!(r.stats.stores, 0, "nullified store must not access memory");
+        assert_eq!(r.stats.loads, 1);
+    }
+
+    #[test]
+    fn nullified_firing_does_not_overtake_an_in_flight_result() {
+        // Regression test: a load fires twice on one wave — first with a
+        // true predicate (a real, slow access), then with a false one (an
+        // instant nullified result). Channel delivery must stay in firing
+        // order: the consumer reads the real value first, not the filler.
+        let mut module = Module::new();
+        module.add_object(MemObject::global("a", Type::int(32), 1).with_init(vec![42]));
+        module.add_object(MemObject::global("b", Type::int(32), 2).with_init(vec![1, 0]));
+        let (base_a, base_b) = (0x1000i64, 0x1008i64);
+        let mut g = Graph::new();
+        let ptrue = g.const_bool(true, 0);
+        let addr = g.add_node(NodeKind::Const { value: base_a, ty: Type::int(64) }, 0, 0);
+        // Predicate sequence [1, 0] on one edge: two token-chained loads of
+        // b[0]=1 and b[1]=0 (load results are never sticky, so they queue),
+        // cast to bool, merged in completion order.
+        let t0 = g.add_node(NodeKind::InitialToken, 0, 0);
+        let ab0 = g.add_node(NodeKind::Const { value: base_b, ty: Type::int(64) }, 0, 0);
+        let ab1 = g.add_node(NodeKind::Const { value: base_b + 4, ty: Type::int(64) }, 0, 0);
+        let pl1 = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        g.connect(Src::of(ab0), pl1, 0);
+        g.connect(Src::of(ptrue), pl1, 1);
+        g.connect(Src::of(t0), pl1, 2);
+        let pl2 = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        g.connect(Src::of(ab1), pl2, 0);
+        g.connect(Src::of(ptrue), pl2, 1);
+        g.connect(Src::token_of_load(pl1), pl2, 2); // pl1 completes first
+        let c1 = g.add_node(NodeKind::Cast { ty: Type::Bool }, 1, 0);
+        g.connect(Src::of(pl1), c1, 0);
+        let c2 = g.add_node(NodeKind::Cast { ty: Type::Bool }, 1, 0);
+        g.connect(Src::of(pl2), c2, 0);
+        let pm = g.add_node(NodeKind::Merge { vc: VClass::Pred, ty: Type::Bool }, 2, 0);
+        g.connect(Src::of(c1), pm, 0);
+        g.connect(Src::of(c2), pm, 1);
+        // Two wave tokens at once: both firings are enabled back to back.
+        let t1 = g.add_node(NodeKind::InitialToken, 0, 0);
+        let t2 = g.add_node(NodeKind::InitialToken, 0, 0);
+        let tm = g.add_node(NodeKind::Merge { vc: VClass::Token, ty: Type::Void }, 2, 0);
+        g.connect(Src::of(t1), tm, 0);
+        g.connect(Src::of(t2), tm, 1);
+        let ld = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        g.connect(Src::of(addr), ld, 0);
+        g.connect(Src::of(pm), ld, 1);
+        g.connect(Src::of(tm), ld, 2);
+        // The return rides the same predicate sequence: it must see the
+        // real 42 on the true wave, not the nullified wave's filler. If
+        // channel order broke, the filler 0 would pair with the true
+        // predicate and become the result.
+        let ret = g.add_node(NodeKind::Return { has_value: true, ty: Type::int(32) }, 3, 0);
+        g.connect(Src::of(pm), ret, 0);
+        g.connect(Src::token_of_load(ld), ret, 1);
+        g.connect(Src::of(ld), ret, 2);
+
+        let mut machine = Machine::new(&module, MemSystem::Perfect { latency: 10 });
+        let r = simulate(&g, &mut machine, &[], &perfect(10)).unwrap();
+        assert_eq!(r.ret, Some(42), "nullified filler overtook the real load result");
+        assert_eq!(
+            r.stats.loads, 3,
+            "only the true-predicate firing of the main load accesses memory"
+        );
+    }
+
+    #[test]
+    fn simulation_stats_carry_the_cache_breakdown() {
+        let (module, g) = store_then_load(true);
+        let mem = MemSystem::Hierarchy(crate::memory::CacheParams::default());
+        let mut machine = Machine::new(&module, mem.clone());
+        let cfg = SimConfig { mem, max_cycles: 10_000, ..SimConfig::default() };
+        let r = simulate(&g, &mut machine, &[], &cfg).unwrap();
+        assert_eq!(r.ret, Some(7));
+        // Cold store misses everywhere; the dependent load hits in L1.
+        assert_eq!(r.stats.l1_misses, 1);
+        assert_eq!(r.stats.l1_hits, 1);
+        assert_eq!(r.stats.tlb_misses, 1);
+        assert_eq!(r.stats.tlb_hits, 1);
+    }
 }

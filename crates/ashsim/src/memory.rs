@@ -260,6 +260,13 @@ impl Machine {
         write_le(&mut self.bytes, addr, sz, value);
     }
 
+    /// The raw functional memory image (every byte of the laid-out address
+    /// space). Two machines built from the same module share a layout, so
+    /// differential harnesses compare final states by comparing images.
+    pub fn image(&self) -> &[u8] {
+        &self.bytes
+    }
+
     /// Timing: how many cycles an access starting now takes, updating cache
     /// and TLB state and statistics.
     pub fn access_cycles(&mut self, addr: u64, is_write: bool) -> u64 {

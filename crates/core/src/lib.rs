@@ -141,6 +141,15 @@ impl Compiler {
         self
     }
 
+    /// Limits the active configuration to its first `n` optimizer pass
+    /// invocations (see [`OptConfig::prefix`]). Differential harnesses use
+    /// this to bisect a miscompile to the first offending pass; the full
+    /// invocation sequence is reported in [`OptReport::passes`].
+    pub fn pass_limit(mut self, n: usize) -> Self {
+        self.custom = Some(self.opt_config().prefix(n));
+        self
+    }
+
     /// The active pass configuration.
     pub fn opt_config(&self) -> OptConfig {
         self.custom.unwrap_or_else(|| self.level.config())

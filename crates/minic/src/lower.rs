@@ -128,10 +128,7 @@ impl<'a> FnLower<'a> {
         sigs: &'a HashMap<String, (Type, Vec<Type>)>,
         decl: &FuncDecl,
     ) -> Result<Function, LowerError> {
-        let mut addr_taken = HashSet::new();
-        for s in &decl.body {
-            collect_addr_taken_stmt(s, &mut addr_taken);
-        }
+        let addr_taken = self::addr_taken(decl);
         let mut f = Function::new(decl.name.clone(), conv(&decl.ret));
         let mut scope = HashMap::new();
         for p in &decl.params {
@@ -808,6 +805,18 @@ fn conv_bin(op: Bin) -> BinOp {
         Bin::LAnd => BinOp::LAnd,
         Bin::LOr => BinOp::LOr,
     }
+}
+
+/// The set of variable names whose address is taken anywhere in `f`'s
+/// body — the same prescan lowering uses to decide which scalars live in
+/// memory rather than registers. Public so an independent executable
+/// semantics (the reference interpreter) classifies locals identically.
+pub fn addr_taken(f: &FuncDecl) -> HashSet<String> {
+    let mut out = HashSet::new();
+    for s in &f.body {
+        collect_addr_taken_stmt(s, &mut out);
+    }
+    out
 }
 
 fn collect_addr_taken_stmt(s: &Stmt, out: &mut HashSet<String>) {

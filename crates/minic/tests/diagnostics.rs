@@ -1,0 +1,76 @@
+//! Golden tests for frontend diagnostics.
+//!
+//! Each broken program must produce *exactly* this rendered message —
+//! diagnostics are part of the user interface, and the differential
+//! harness's reproducer files quote them verbatim, so changes here should
+//! be deliberate, not drive-by.
+
+use minic::compile_to_module;
+
+fn diagnostic(src: &str) -> String {
+    match compile_to_module(src) {
+        Ok(_) => panic!("expected a diagnostic, but this compiled:\n{src}"),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[test]
+fn lexer_diagnostics_are_stable() {
+    let golden = [
+        (
+            "int main(void) { int x = 1 @ 2; return x; }",
+            "parse error: line 1: unexpected character `@`",
+        ),
+        ("int main(void) { return \"abc; }", "parse error: line 1: unexpected character `\"`"),
+        ("int main(void) { /* unterminated", "parse error: line 1: unterminated comment"),
+        (
+            "int main(void) { int 9x = 1; return 0; }",
+            "parse error: line 1: malformed numeric literal `9x…`",
+        ),
+        ("int main(void) { return 0x; }", "parse error: line 1: empty hex literal"),
+        ("char c = 'ab';", "parse error: line 1: unterminated char literal"),
+    ];
+    for (src, want) in golden {
+        assert_eq!(diagnostic(src), want, "for {src:?}");
+    }
+}
+
+#[test]
+fn parser_diagnostics_are_stable() {
+    let golden = [
+        ("int main(void) { return 0 }", "parse error: line 1: expected Semi, found RBrace"),
+        (
+            "int main(void) { if (1 return 0; }",
+            "parse error: line 1: expected RParen, found KwReturn",
+        ),
+        (
+            "int a[]; int main(void) { return 0; }",
+            "parse error: line 1: global array `a` needs an explicit length",
+        ),
+        (
+            "int main(void) { int* p; return *; }",
+            "parse error: line 1: expected expression, found Semi",
+        ),
+    ];
+    for (src, want) in golden {
+        assert_eq!(diagnostic(src), want, "for {src:?}");
+    }
+}
+
+#[test]
+fn lowering_diagnostics_are_stable() {
+    let golden = [
+        ("int main(void) { return y; }", "semantic error: line 1: unknown variable `y`"),
+        ("void f(void) { } void f(void) { }", "semantic error: line 1: duplicate function `f`"),
+        ("int main(void) { break; }", "semantic error: line 1: `break` outside a loop"),
+    ];
+    for (src, want) in golden {
+        assert_eq!(diagnostic(src), want, "for {src:?}");
+    }
+}
+
+#[test]
+fn diagnostics_carry_the_failing_line_number() {
+    let src = "int main(void) {\n  int x = 0;\n  x += ;\n  return x;\n}";
+    assert_eq!(diagnostic(src), "parse error: line 3: expected expression, found Semi");
+}

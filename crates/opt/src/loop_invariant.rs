@@ -99,8 +99,13 @@ fn entry_value(
             if ivs.steps.get(&src) != Some(&0) {
                 return None;
             }
-            // Its single non-back input is an eta in the preheader; the
-            // eta's value input is the entry value.
+            // Its single non-back input is the entry value. When that input
+            // is a gating eta in the preheader, use the eta itself, not the
+            // eta's source: the eta fires exactly once per loop activation
+            // (the same gate as the entry token), while its source also
+            // fires on the activation's exit wave. Consuming the source raw
+            // would strand one value per activation in the channel, which
+            // deadlocks nests deep enough to fill it.
             let mut entry = None;
             for p in 0..g.num_inputs(src.node) as u16 {
                 let i = g.input(src.node, p)?;
@@ -111,12 +116,7 @@ fn entry_value(
                     entry = Some(i.src);
                 }
             }
-            let e = entry?;
-            if let NodeKind::Eta { .. } = g.kind(e.node) {
-                Some(g.input(e.node, 0)?.src)
-            } else {
-                Some(e)
-            }
+            Some(entry?)
         }
         NodeKind::BinOp { op, ty } => {
             let a = g.input(src.node, 0)?.src;

@@ -45,6 +45,33 @@ pub struct OptConfig {
     pub pipeline: PipelineConfig,
     /// Maximum redundancy-elimination fixpoint rounds.
     pub max_rounds: usize,
+    /// Run only the first `n` pass invocations of the configured pipeline
+    /// (`None` = unlimited). The invocation sequence is *exactly* the
+    /// prefix of the full pipeline's sequence ([`OptReport::passes`]), so a
+    /// differential harness can bisect a miscompile to the first offending
+    /// pass by varying this bound.
+    pub pass_limit: Option<usize>,
+    /// Fault injection for harness self-tests: after the first invocation
+    /// of the named pass, apply a deliberately wrong rewrite to the graph.
+    /// Never set outside tests.
+    pub sabotage: Option<&'static str>,
+}
+
+impl OptConfig {
+    /// This configuration limited to the first `n` pass invocations.
+    pub fn prefix(mut self, n: usize) -> Self {
+        self.pass_limit = Some(n);
+        self
+    }
+
+    /// This configuration with fault injection into the named pass
+    /// (mutation smoke-testing for the differential harness; the rewrite
+    /// is semantically wrong on purpose).
+    #[doc(hidden)]
+    pub fn sabotage(mut self, pass: &'static str) -> Self {
+        self.sabotage = Some(pass);
+        self
+    }
 }
 
 /// The named optimization levels used by the evaluation (Figure 19).
@@ -83,6 +110,8 @@ impl OptLevel {
                 loop_invariant: false,
                 pipeline: PipelineConfig::none(),
                 max_rounds: 0,
+                pass_limit: None,
+                sabotage: None,
             },
             OptLevel::Basic => OptConfig {
                 rw_sets_at_build: true,
@@ -96,6 +125,8 @@ impl OptLevel {
                 loop_invariant: false,
                 pipeline: PipelineConfig::none(),
                 max_rounds: 1,
+                pass_limit: None,
+                sabotage: None,
             },
             OptLevel::Medium => OptConfig {
                 rw_sets_at_build: true,
@@ -109,6 +140,8 @@ impl OptLevel {
                 loop_invariant: false,
                 pipeline: PipelineConfig { read_only: false, monotone: true, decouple: false },
                 max_rounds: 1,
+                pass_limit: None,
+                sabotage: None,
             },
             OptLevel::Full => OptConfig {
                 rw_sets_at_build: true,
@@ -122,6 +155,8 @@ impl OptLevel {
                 loop_invariant: true,
                 pipeline: PipelineConfig::full(),
                 max_rounds: 4,
+                pass_limit: None,
+                sabotage: None,
             },
         }
     }
@@ -284,20 +319,41 @@ fn reduction(before: usize, after: usize) -> f64 {
     }
 }
 
-/// Times one pass invocation and records its graph-shape delta.
+/// Scheduling state threaded through one [`optimize`] run: the per-pass
+/// telemetry, the remaining invocation budget ([`OptConfig::pass_limit`])
+/// and the fault-injection armed state ([`OptConfig::sabotage`]).
+struct Ctl {
+    passes: Vec<PassStat>,
+    remaining: Option<usize>,
+    sabotage: Option<&'static str>,
+}
+
+/// Times one pass invocation and records its graph-shape delta. When the
+/// invocation budget is exhausted the pass is skipped entirely (no stat is
+/// recorded), so a prefix-limited run performs exactly the first
+/// `pass_limit` invocations of the full pipeline and nothing else.
 fn timed(
     g: &mut Graph,
-    passes: &mut Vec<PassStat>,
+    ctl: &mut Ctl,
     name: &'static str,
     round: Option<usize>,
     f: impl FnOnce(&mut Graph) -> usize,
 ) -> usize {
+    match ctl.remaining {
+        Some(0) => return 0,
+        Some(ref mut n) => *n -= 1,
+        None => {}
+    }
     let nodes = g.live_count();
     let edges = g.count_edges();
     let token_edges = g.count_token_edges();
     let t0 = std::time::Instant::now();
     let rewrites = f(g);
-    passes.push(PassStat {
+    if ctl.sabotage == Some(name) {
+        ctl.sabotage = None;
+        sabotage_rewrite(g);
+    }
+    ctl.passes.push(PassStat {
         name,
         round,
         wall_micros: t0.elapsed().as_micros() as u64,
@@ -309,20 +365,37 @@ fn timed(
     rewrites
 }
 
+/// The deliberately wrong rewrite used by [`OptConfig::sabotage`]: flips
+/// the first live integer addition into a subtraction. Structurally valid
+/// (the graph still verifies) but semantically broken for almost any
+/// program that exercises the node — exactly what a real miscompiling pass
+/// looks like to a differential harness.
+fn sabotage_rewrite(g: &mut Graph) {
+    use cfgir::types::BinOp;
+    let target = g.live_ids().find(
+        |&id| matches!(g.kind(id), pegasus::NodeKind::BinOp { op: BinOp::Add, ty } if ty.is_int()),
+    );
+    if let Some(id) = target {
+        if let pegasus::NodeKind::BinOp { op, .. } = g.kind_mut(id) {
+            *op = BinOp::Sub;
+        }
+    }
+}
+
 /// Runs the configured pipeline over `g`.
 pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> OptReport {
     let mut report = OptReport { static_before: g.count_memory_ops(), ..OptReport::default() };
-    let mut passes = Vec::new();
+    let mut ctl = Ctl { passes: Vec::new(), remaining: cfg.pass_limit, sabotage: cfg.sabotage };
 
     if cfg.scalar {
-        report.scalar_rewrites += timed(g, &mut passes, "scalar", None, simplify);
+        report.scalar_rewrites += timed(g, &mut ctl, "scalar", None, simplify);
     }
     if cfg.immutable {
         report.immutable_loads_folded +=
-            timed(g, &mut passes, "immutable", None, |g| fold_immutable_loads(g, oracle));
+            timed(g, &mut ctl, "immutable", None, |g| fold_immutable_loads(g, oracle));
     }
     // Step 2: dissolve unnecessary dependences.
-    report.token_edges_removed += timed(g, &mut passes, "token_removal", None, |g| {
+    report.token_edges_removed += timed(g, &mut ctl, "token_removal", None, |g| {
         remove_token_edges(g, oracle, cfg.disambiguation)
     });
 
@@ -332,7 +405,7 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
         let mut changed = 0;
         let mut pm = PredicateMap::new();
         if cfg.load_store {
-            changed += timed(g, &mut passes, "load_store", r, |g| {
+            changed += timed(g, &mut ctl, "load_store", r, |g| {
                 let s = load_after_store(g, &mut pm);
                 report.loads_bypassed += s.bypassed;
                 report.loads_removed += s.removed;
@@ -340,7 +413,7 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
             });
         }
         if cfg.store_store {
-            changed += timed(g, &mut passes, "store_store", r, |g| {
+            changed += timed(g, &mut ctl, "store_store", r, |g| {
                 let s = store_before_store(g, &mut pm);
                 report.stores_narrowed += s.narrowed;
                 report.stores_removed += s.removed;
@@ -348,7 +421,7 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
             });
         }
         if cfg.merge_ops {
-            changed += timed(g, &mut passes, "merge_ops", r, |g| {
+            changed += timed(g, &mut ctl, "merge_ops", r, |g| {
                 let s = merge_equivalent(g, &mut pm);
                 report.loads_merged += s.loads;
                 report.stores_merged += s.stores;
@@ -356,7 +429,7 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
             });
         }
         if cfg.dead {
-            changed += timed(g, &mut passes, "dead_mem", r, |g| {
+            changed += timed(g, &mut ctl, "dead_mem", r, |g| {
                 let (l, s) = remove_dead(g, &mut pm);
                 report.dead_loads += l;
                 report.dead_stores += s;
@@ -364,9 +437,9 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
             });
         }
         if cfg.scalar {
-            report.scalar_rewrites += timed(g, &mut passes, "scalar", r, simplify);
+            report.scalar_rewrites += timed(g, &mut ctl, "scalar", r, simplify);
         }
-        report.token_edges_removed += timed(g, &mut passes, "token_removal", r, |g| {
+        report.token_edges_removed += timed(g, &mut ctl, "token_removal", r, |g| {
             remove_token_edges(g, oracle, cfg.disambiguation)
         });
         if changed == 0 {
@@ -377,7 +450,7 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
         // Repeat: each call hoists at most one load per loop.
         loop {
             let h =
-                timed(g, &mut passes, "loop_invariant", None, |g| hoist_invariant_loads(g, oracle));
+                timed(g, &mut ctl, "loop_invariant", None, |g| hoist_invariant_loads(g, oracle));
             report.loads_hoisted += h;
             if h == 0 {
                 break;
@@ -385,7 +458,7 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
         }
     }
     // Step 4: loop pipelining.
-    timed(g, &mut passes, "pipeline", None, |g| {
+    timed(g, &mut ctl, "pipeline", None, |g| {
         let p = pipeline_loops(g, cfg.pipeline);
         report.loops_pipelined = p.loops;
         report.rings_created = p.extra_rings;
@@ -394,14 +467,14 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
     });
 
     if cfg.scalar {
-        report.scalar_rewrites += timed(g, &mut passes, "scalar", None, simplify);
+        report.scalar_rewrites += timed(g, &mut ctl, "scalar", None, simplify);
     }
-    timed(g, &mut passes, "prune_dead", None, |g| {
+    timed(g, &mut ctl, "prune_dead", None, |g| {
         pegasus::prune_dead(g);
         0
     });
     report.static_after = g.count_memory_ops();
-    report.passes = passes;
+    report.passes = ctl.passes;
     report
 }
 
@@ -507,6 +580,92 @@ mod tests {
         assert_eq!(report.static_after, (0, 1));
         assert!(report.load_reduction() > 0.99);
         assert_eq!(report.store_reduction(), 0.0);
+    }
+
+    #[test]
+    fn prefix_zero_runs_no_passes() {
+        let src = "
+            int a[8];
+            int main(int i, int v) { a[i] = v; return a[i]; }";
+        let (module, mut g) = compile(src);
+        let oracle = AliasOracle::new(&module);
+        let report = optimize(&mut g, &oracle, &OptLevel::Full.config().prefix(0));
+        assert!(report.passes.is_empty());
+        assert_eq!(report.static_after, report.static_before);
+    }
+
+    #[test]
+    fn prefix_runs_exactly_the_full_sequence_prefix() {
+        let src = "
+            int a[8]; int b[9];
+            int main(int n) {
+                for (int i = 0; i < n; i++) { b[i+1] = i; a[i] = b[i] + a[i]; }
+                return a[2] + b[3];
+            }";
+        let cfgc = OptLevel::Full.config();
+        let (module, g0) = compile_rw(src);
+        let oracle = AliasOracle::new(&module);
+        let mut gfull = g0.clone();
+        let full = optimize(&mut gfull, &oracle, &cfgc);
+        let total = full.passes.len();
+        assert!(total > 4, "expected a multi-pass pipeline, got {total}");
+        for n in [0, 1, total / 2, total, total + 7] {
+            let mut g = g0.clone();
+            let report = optimize(&mut g, &oracle, &cfgc.prefix(n));
+            let want: Vec<_> =
+                full.passes.iter().take(n).map(|p| (p.name, p.round, p.rewrites)).collect();
+            let got: Vec<_> = report.passes.iter().map(|p| (p.name, p.round, p.rewrites)).collect();
+            assert_eq!(got, want, "prefix {n} diverged from the full sequence");
+            pegasus::verify(&g).unwrap_or_else(|e| panic!("prefix {n} left a broken graph: {e}"));
+        }
+        // The full budget reproduces the full pipeline's graph behaviour.
+        let mut g = g0.clone();
+        let report = optimize(&mut g, &oracle, &cfgc.prefix(total));
+        assert_eq!(report.static_after, full.static_after);
+        assert_equivalent(&module, &gfull, &g, &[vec![0], vec![3], vec![7]]);
+    }
+
+    #[test]
+    fn every_prefix_graph_is_runnable() {
+        let src = "
+            int a[8];
+            int main(int p, int i) {
+                if (p) a[i] += p;
+                else a[i] = 1;
+                a[i] <<= a[i+1];
+                return a[i];
+            }";
+        let cfgc = OptLevel::Full.config();
+        let (module, g0) = compile_rw(src);
+        let oracle = AliasOracle::new(&module);
+        let mut gfull = g0.clone();
+        let full = optimize(&mut gfull, &oracle, &cfgc);
+        let (expect, _, _) = run(&module, &gfull, &[3, 2]);
+        for n in 0..=full.passes.len() {
+            let mut g = g0.clone();
+            optimize(&mut g, &oracle, &cfgc.prefix(n));
+            pegasus::verify(&g).unwrap();
+            let (r, _, _) = run(&module, &g, &[3, 2]);
+            assert_eq!(r, expect, "prefix {n} changed the program result");
+        }
+    }
+
+    #[test]
+    fn sabotage_breaks_exactly_the_named_pass() {
+        let src = "
+            int a[8];
+            int main(int i, int v) { a[i] = v; return a[i] + 1; }";
+        let (module, g0) = compile(src);
+        let oracle = AliasOracle::new(&module);
+        let mut good = g0.clone();
+        optimize(&mut good, &oracle, &OptLevel::Full.config());
+        let (want, _, _) = run(&module, &good, &[2, 10]);
+        assert_eq!(want, Some(11));
+        let mut bad = g0.clone();
+        optimize(&mut bad, &oracle, &OptLevel::Full.config().sabotage("load_store"));
+        pegasus::verify(&bad).expect("sabotage keeps the graph structurally valid");
+        let (got, _, _) = run(&module, &bad, &[2, 10]);
+        assert_ne!(got, want, "sabotaged pipeline must miscompile");
     }
 
     #[test]

@@ -43,7 +43,13 @@ fn fold_constants(g: &mut Graph) -> usize {
                 let a = g.input(id, 0).and_then(|i| const_value(g, i.src));
                 let b = g.input(id, 1).and_then(|i| const_value(g, i.src));
                 match (a, b) {
-                    (Some(a), Some(b)) => Some((op.eval(&ty, a, b), ty)),
+                    // A comparison node carries its *operand* type (for
+                    // signedness) but its output is a predicate; the folded
+                    // constant must be Bool or its class flips Pred -> Data.
+                    (Some(a), Some(b)) => {
+                        let out_ty = if op.is_comparison() { Type::Bool } else { ty.clone() };
+                        Some((op.eval(&ty, a, b), out_ty))
+                    }
                     _ => None,
                 }
             }

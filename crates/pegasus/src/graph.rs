@@ -418,6 +418,15 @@ impl Graph {
         &self.uses[id.index()]
     }
 
+    /// Damages `id`'s use records without touching the input table, so the
+    /// verifier's def-use consistency check has something to find.
+    #[cfg(test)]
+    pub(crate) fn corrupt_use_records_for_tests(&mut self, id: NodeId) {
+        for u in &mut self.uses[id.index()] {
+            u.dst_port += 1;
+        }
+    }
+
     /// Does output `port` of `id` have any consumer?
     pub fn has_uses(&self, id: NodeId, port: u16) -> bool {
         self.uses[id.index()].iter().any(|u| u.src_port == port)

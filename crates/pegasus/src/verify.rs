@@ -234,6 +234,112 @@ mod tests {
     }
 
     #[test]
+    fn broken_use_record_detected() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Const { value: 1, ty: Type::int(32) }, 0, 0);
+        let b = g.add_node(NodeKind::Const { value: 2, ty: Type::int(32) }, 0, 0);
+        let n = g.add_node(NodeKind::BinOp { op: BinOp::Add, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(a), n, 0);
+        g.connect(Src::of(b), n, 1);
+        assert_eq!(verify(&g), Ok(()));
+        // Point a's use record at the port b feeds: the input table no
+        // longer matches and the round-trip check must notice.
+        g.corrupt_use_records_for_tests(a);
+        assert_eq!(verify(&g), Err(VerifyError::BrokenUseRecord { node: a }));
+    }
+
+    #[test]
+    fn load_and_store_arity_checked() {
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Const { value: 16, ty: Type::int(64) }, 0, 0);
+        let l = g.add_node(NodeKind::Load { ty: Type::int(32), may: ObjectSet::Top }, 2, 0);
+        g.connect(Src::of(a), l, 0);
+        g.connect(Src::of(a), l, 1);
+        assert!(matches!(verify(&g), Err(VerifyError::BadArity { node, got: 2 }) if node == l));
+
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Const { value: 16, ty: Type::int(64) }, 0, 0);
+        let s = g.add_node(NodeKind::Store { ty: Type::int(32), may: ObjectSet::Top }, 3, 0);
+        for p in 0..3 {
+            g.connect(Src::of(a), s, p);
+        }
+        assert!(matches!(verify(&g), Err(VerifyError::BadArity { node, got: 3 }) if node == s));
+    }
+
+    #[test]
+    fn comparison_output_is_a_predicate_not_data() {
+        // A comparison carries its operand type (for signedness) but its
+        // output class is Pred: feeding it to an ALU data input is the
+        // class bug the verifier exists to catch.
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Const { value: 1, ty: Type::int(32) }, 0, 0);
+        let lt = g.add_node(NodeKind::BinOp { op: BinOp::Lt, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(a), lt, 0);
+        g.connect(Src::of(a), lt, 1);
+        let add = g.add_node(NodeKind::BinOp { op: BinOp::Add, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(lt), add, 0);
+        g.connect(Src::of(a), add, 1);
+        assert!(matches!(
+            verify(&g),
+            Err(VerifyError::ClassMismatch {
+                port: 0,
+                expected: VClass::Data,
+                got: VClass::Pred,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn cast_converts_a_predicate_into_data() {
+        // Same shape as above, but laundered through a cast: legal.
+        let mut g = Graph::new();
+        let a = g.add_node(NodeKind::Const { value: 1, ty: Type::int(32) }, 0, 0);
+        let lt = g.add_node(NodeKind::BinOp { op: BinOp::Lt, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(a), lt, 0);
+        g.connect(Src::of(a), lt, 1);
+        let c = g.add_node(NodeKind::Cast { ty: Type::int(32) }, 1, 0);
+        g.connect(Src::of(lt), c, 0);
+        let add = g.add_node(NodeKind::BinOp { op: BinOp::Add, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(c), add, 0);
+        g.connect(Src::of(a), add, 1);
+        assert_eq!(verify(&g), Ok(()));
+    }
+
+    #[test]
+    fn data_into_an_eta_predicate_port_rejected() {
+        let mut g = Graph::new();
+        let v = g.add_node(NodeKind::Const { value: 3, ty: Type::int(32) }, 0, 0);
+        let e = g.add_node(NodeKind::Eta { vc: VClass::Data, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(v), e, 0);
+        g.connect(Src::of(v), e, 1); // data where a predicate belongs
+        assert!(matches!(
+            verify(&g),
+            Err(VerifyError::ClassMismatch {
+                port: 1,
+                expected: VClass::Pred,
+                got: VClass::Data,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn back_edge_into_token_generator_is_fine() {
+        // Pipelined loops return tokens to the generator over a back edge
+        // (§6.2); the verifier must treat TokenGen like a merge here.
+        let mut g = Graph::new();
+        let p = g.const_bool(true, 0);
+        let tg = g.add_node(NodeKind::TokenGen { n: 2 }, 2, 0);
+        let e = g.add_node(NodeKind::Eta { vc: VClass::Token, ty: Type::Bool }, 2, 0);
+        g.connect(Src::of(p), tg, 0);
+        g.connect(Src::of(tg), e, 0);
+        g.connect(Src::of(p), e, 1);
+        g.connect_back(Src::of(e), tg, 1);
+        assert_eq!(verify(&g), Ok(()));
+    }
+
+    #[test]
     fn bad_mux_arity_rejected() {
         let mut g = Graph::new();
         let p = g.const_bool(true, 0);

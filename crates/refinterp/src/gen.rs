@@ -1,0 +1,554 @@
+//! Seeded random MiniC program generator.
+//!
+//! Programs are built as a small structured tree ([`GS`]/[`GE`]) rather than
+//! raw text so the shrinker can delete statements, unwrap loops and simplify
+//! expressions while keeping the program well-formed. [`render`] turns the
+//! tree into MiniC source against a fixed scaffold of globals, arrays of
+//! several element widths, and helper functions.
+//!
+//! Two properties are guaranteed by construction:
+//!
+//! - **Termination.** Every `for` loop counts a fresh variable to a bound of
+//!   at most 8; every `while` decrements its counter as the *first* statement
+//!   of the body (so `continue` cannot skip it); every `do`-`while` condition
+//!   contains the decrement. The interpreter's fuel limit is a backstop, not
+//!   a crutch.
+//! - **In-bounds addressing.** Every array index and pointer offset is masked
+//!   with `& 15` against 16-element arrays. Out-of-bounds accesses are C
+//!   undefined behavior, which the alias analysis exploits (accesses are
+//!   assumed to stay within their object), so an OOB-access program could
+//!   legitimately diverge between oracle and circuit.
+
+use crate::rng::Rng;
+use std::fmt::Write;
+
+/// Arrays available to the generator: name, element C type, whether writable.
+/// All have 16 elements; indices are masked with `& 15`.
+const ARRAYS: &[(&str, &str, bool)] = &[
+    ("a", "int", true),
+    ("b", "int", true),
+    ("c", "int", true),
+    ("c0", "char", true),
+    ("s1", "short", true),
+    ("k0", "int", false), // const — load-only
+];
+
+/// Number of `int` scalar locals `x0..`.
+const NUM_X: u8 = 5;
+/// Global scalars: g0, g1 (int), g2 (unsigned).
+const NUM_G: u8 = 3;
+
+/// Binary operator token.
+pub type BinTag = &'static str;
+
+const ARITH_OPS: &[BinTag] = &["+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"];
+const CMP_OPS: &[BinTag] = &["==", "!=", "<", "<=", ">", ">="];
+const ASSIGN_OPS: &[BinTag] = &["+", "-", "*", "&", "|", "^"];
+
+/// A generated expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GE {
+    /// Integer literal.
+    C(i32),
+    /// The entry parameter `n`.
+    N,
+    /// Scalar local `x{k}`.
+    X(u8),
+    /// Global scalar `g{k}`.
+    G(u8),
+    /// The address-taken scalar, read through its pointer: `(*ps)`.
+    S,
+    /// Loop counter `i{d}` of an enclosing `for`.
+    L(u8),
+    /// `arr[(e) & 15]`.
+    Idx(u8, Box<GE>),
+    /// `(*(arr + ((e) & 15)))` — pointer-offset addressing.
+    PtrOff(u8, Box<GE>),
+    /// Binary operation (never `&&`/`||` — see `Logic`).
+    Bin(BinTag, Box<GE>, Box<GE>),
+    /// Short-circuit `&&` / `||`.
+    Logic(BinTag, Box<GE>, Box<GE>),
+    /// Unary `-`, `~`, `!`.
+    Un(&'static str, Box<GE>),
+    /// `((c) ? (t) : (e))`.
+    Tern(Box<GE>, Box<GE>, Box<GE>),
+    /// `h0((a), (b))` — pure scalar helper.
+    H0(Box<GE>, Box<GE>),
+    /// `h1(arr, (e))` — helper reading through a pointer parameter.
+    H1(u8, Box<GE>),
+    /// `h3((e))` — helper with an internal loop.
+    H3(Box<GE>),
+    /// `(x{k}++)` / `(++x{k})` / … as an expression.
+    IncX(u8, bool, bool), // (var, pre, inc)
+}
+
+/// A generated statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GS {
+    /// `x{k} = e;` or `x{k} op= e;`
+    SetX(u8, Option<BinTag>, GE),
+    /// `g{k} = e;` or `g{k} op= e;`
+    SetG(u8, Option<BinTag>, GE),
+    /// `*ps = e;` — store through the scalar pointer.
+    SetS(GE),
+    /// `arr[(i) & 15] (op)= v;`
+    Store(u8, GE, Option<BinTag>, GE),
+    /// `*(arr + ((i) & 15)) = v;`
+    PtrStore(u8, GE, GE),
+    /// `h2(arr, (i), (v));` — store through a pointer parameter.
+    CallH2(u8, GE, GE),
+    /// `if (c) { .. } else { .. }` (else omitted when empty).
+    If(GE, Vec<GS>, Vec<GS>),
+    /// `for (int i{d} = 0; i{d} < bound; i{d}++) { .. }`
+    For(u8, u8, Vec<GS>),
+    /// `{ int w{d} = start; while (w{d} > 0) { w{d} -= dec; .. } }`
+    While(u8, u8, u8, Vec<GS>), // (depth, start, dec, body)
+    /// `{ int d{d} = count; do { .. } while (d{d}-- > 1); }`
+    DoW(u8, u8, Vec<GS>),
+    /// `x{k}++;` / `x{k}--;`
+    IncStmt(u8, bool),
+    /// `break;` (generated only inside loops).
+    Break,
+    /// `continue;` (generated only inside loops).
+    Continue,
+    /// `return (e);` (generated rarely, mid-body).
+    Ret(GE),
+    /// `{ int i{d} = 0; .. }` — a shrinker artifact: a loop unwrapped to a
+    /// single iteration, keeping its counter in scope.
+    Once(u8, Vec<GS>),
+}
+
+/// A generated program: seed + main body + final return expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenProgram {
+    pub seed: u64,
+    pub body: Vec<GS>,
+    pub ret: GE,
+}
+
+struct Ctx {
+    /// `for`-counter depths in scope (referencable via [`GE::L`]).
+    fors: Vec<u8>,
+    /// Inside any loop (break/continue legal)?
+    in_loop: bool,
+    /// Next fresh loop-variable depth.
+    next_depth: u8,
+    /// Remaining statement budget.
+    budget: u32,
+}
+
+/// Generates a random program from `seed`.
+pub fn gen(seed: u64) -> GenProgram {
+    let mut rng = Rng::new(seed ^ 0xc0ff_ee00_d15e_a5e5);
+    let mut ctx =
+        Ctx { fors: Vec::new(), in_loop: false, next_depth: 0, budget: 10 + rng.below(14) as u32 };
+    let body = gen_block(&mut rng, &mut ctx, 0);
+    let ret = gen_expr(&mut rng, &ctx, 2);
+    GenProgram { seed, body, ret }
+}
+
+fn gen_block(rng: &mut Rng, ctx: &mut Ctx, depth: u32) -> Vec<GS> {
+    let n = 1 + rng.below(if depth == 0 { 6 } else { 3 });
+    let mut out = Vec::new();
+    for _ in 0..n {
+        if ctx.budget == 0 {
+            break;
+        }
+        ctx.budget -= 1;
+        out.push(gen_stmt(rng, ctx, depth));
+    }
+    out
+}
+
+fn gen_stmt(rng: &mut Rng, ctx: &mut Ctx, depth: u32) -> GS {
+    let roll = rng.below(100);
+    let nesting_ok = depth < 3 && ctx.budget >= 2;
+    match roll {
+        // Plain scalar assignments dominate: they create the loop-carried
+        // dependences and data flow everything else feeds on.
+        0..=21 => {
+            let k = rng.below(NUM_X as u64) as u8;
+            let op = if rng.chance(40) { Some(pick(rng, ASSIGN_OPS)) } else { None };
+            GS::SetX(k, op, gen_expr(rng, ctx, 2))
+        }
+        22..=29 => {
+            let k = rng.below(NUM_G as u64) as u8;
+            let op = if rng.chance(30) { Some(pick(rng, ASSIGN_OPS)) } else { None };
+            GS::SetG(k, op, gen_expr(rng, ctx, 2))
+        }
+        30..=33 => GS::SetS(gen_expr(rng, ctx, 2)),
+        // Array stores: the raw material for store-store / load-after-store
+        // / dead-store elimination.
+        34..=49 => {
+            let arr = pick_writable(rng);
+            let op = if rng.chance(30) { Some(pick(rng, ASSIGN_OPS)) } else { None };
+            GS::Store(arr, gen_expr(rng, ctx, 1), op, gen_expr(rng, ctx, 2))
+        }
+        50..=56 => {
+            let arr = rng.below(3) as u8; // int arrays only
+            GS::PtrStore(arr, gen_expr(rng, ctx, 1), gen_expr(rng, ctx, 2))
+        }
+        57..=60 => {
+            let arr = rng.below(3) as u8;
+            GS::CallH2(arr, gen_expr(rng, ctx, 1), gen_expr(rng, ctx, 1))
+        }
+        61..=63 => GS::IncStmt(rng.below(NUM_X as u64) as u8, rng.chance(50)),
+        // Control flow.
+        64..=79 if nesting_ok => {
+            let c = gen_expr(rng, ctx, 2);
+            let t = gen_block(rng, ctx, depth + 1);
+            let e = if rng.chance(45) { gen_block(rng, ctx, depth + 1) } else { Vec::new() };
+            GS::If(c, t, e)
+        }
+        80..=89 if nesting_ok => {
+            let d = ctx.next_depth;
+            ctx.next_depth += 1;
+            let bound = 1 + rng.below(8) as u8;
+            ctx.fors.push(d);
+            let was = ctx.in_loop;
+            ctx.in_loop = true;
+            let body = gen_block(rng, ctx, depth + 1);
+            ctx.in_loop = was;
+            ctx.fors.pop();
+            GS::For(d, bound, body)
+        }
+        90..=94 if nesting_ok => {
+            let d = ctx.next_depth;
+            ctx.next_depth += 1;
+            let start = 2 + rng.below(10) as u8;
+            let dec = 1 + rng.below(3) as u8;
+            let was = ctx.in_loop;
+            ctx.in_loop = true;
+            let body = gen_block(rng, ctx, depth + 1);
+            ctx.in_loop = was;
+            GS::While(d, start, dec, body)
+        }
+        95..=96 if nesting_ok => {
+            let d = ctx.next_depth;
+            ctx.next_depth += 1;
+            let count = 1 + rng.below(4) as u8;
+            let was = ctx.in_loop;
+            ctx.in_loop = true;
+            let body = gen_block(rng, ctx, depth + 1);
+            ctx.in_loop = was;
+            GS::DoW(d, count, body)
+        }
+        97 if ctx.in_loop => GS::Break,
+        98 if ctx.in_loop => GS::Continue,
+        99 if depth > 0 => GS::Ret(gen_expr(rng, ctx, 1)),
+        _ => {
+            let k = rng.below(NUM_X as u64) as u8;
+            GS::SetX(k, None, gen_expr(rng, ctx, 2))
+        }
+    }
+}
+
+fn gen_expr(rng: &mut Rng, ctx: &Ctx, depth: u32) -> GE {
+    if depth == 0 || rng.chance(35) {
+        return gen_leaf(rng, ctx);
+    }
+    match rng.below(100) {
+        0..=39 => GE::Bin(
+            pick(rng, ARITH_OPS),
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+        ),
+        40..=49 => GE::Bin(
+            pick(rng, CMP_OPS),
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+        ),
+        50..=56 => GE::Logic(
+            if rng.chance(50) { "&&" } else { "||" },
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+        ),
+        57..=69 => {
+            GE::Idx(rng.below(ARRAYS.len() as u64) as u8, Box::new(gen_expr(rng, ctx, depth - 1)))
+        }
+        70..=75 => GE::PtrOff(rng.below(3) as u8, Box::new(gen_expr(rng, ctx, depth - 1))),
+        76..=81 => {
+            GE::Un(["-", "~", "!"][rng.below(3) as usize], Box::new(gen_expr(rng, ctx, depth - 1)))
+        }
+        82..=87 => GE::Tern(
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+            Box::new(gen_expr(rng, ctx, depth - 1)),
+        ),
+        88..=92 => {
+            GE::H0(Box::new(gen_expr(rng, ctx, depth - 1)), Box::new(gen_expr(rng, ctx, depth - 1)))
+        }
+        93..=96 => GE::H1(rng.below(3) as u8, Box::new(gen_expr(rng, ctx, depth - 1))),
+        97..=98 => GE::H3(Box::new(gen_expr(rng, ctx, depth - 1))),
+        _ => GE::IncX(rng.below(NUM_X as u64) as u8, rng.chance(50), rng.chance(50)),
+    }
+}
+
+fn gen_leaf(rng: &mut Rng, ctx: &Ctx) -> GE {
+    match rng.below(100) {
+        0..=24 => GE::C(rng.range(-4, 16) as i32),
+        25..=44 => GE::X(rng.below(NUM_X as u64) as u8),
+        45..=54 => GE::N,
+        55..=64 => GE::G(rng.below(NUM_G as u64) as u8),
+        65..=69 => GE::S,
+        70..=84 if !ctx.fors.is_empty() => {
+            GE::L(ctx.fors[rng.below(ctx.fors.len() as u64) as usize])
+        }
+        85..=94 => GE::Idx(
+            rng.below(ARRAYS.len() as u64) as u8,
+            Box::new(GE::X(rng.below(NUM_X as u64) as u8)),
+        ),
+        _ => GE::C(rng.range(0, 7) as i32),
+    }
+}
+
+fn pick(rng: &mut Rng, ops: &[BinTag]) -> BinTag {
+    ops[rng.below(ops.len() as u64) as usize]
+}
+
+fn pick_writable(rng: &mut Rng) -> u8 {
+    // Indices of writable arrays (all but the const one).
+    rng.below(5) as u8
+}
+
+// ---- rendering ----
+
+/// Renders the fixed scaffold + generated body as MiniC source.
+pub fn render(p: &GenProgram) -> String {
+    let mut init = Rng::new(p.seed.wrapping_mul(0x9e37_79b9) | 1);
+    let k0: Vec<String> = (0..16).map(|_| init.range(-9, 99).to_string()).collect();
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "int g0; int g1 = 7; unsigned g2 = 9;\n\
+         const int k0[16] = {{{}}};\n\
+         int a[16]; int b[16]; int c[16];\n\
+         char c0[16]; short s1[16];\n\
+         int h0(int x, int y) {{ return (x ^ y) + ((x & y) << 1); }}\n\
+         int h1(int* p, int i) {{ return p[i & 15]; }}\n\
+         void h2(int* p, int i, int v) {{ p[i & 15] = v + 1; }}\n\
+         int h3(int x) {{ int t = 0; x = x & 31; while (x > 0) {{ t += x; x -= 3; }} return t; }}\n\
+         int main(int n) {{\n\
+         int s0 = 1;\n\
+         int* ps = &s0;\n\
+         int x0 = n; int x1 = 3; int x2 = n ^ 5; int x3 = 11; int x4 = n + 1;\n",
+        k0.join(", ")
+    );
+    for st in &p.body {
+        render_stmt(&mut s, st, 1);
+    }
+    let _ = write!(
+        s,
+        "return ({}) + x0 + (x1 ^ x2) + x3 + x4 + s0 + g0 + g1;\n}}\n",
+        render_expr(&p.ret)
+    );
+    s
+}
+
+fn indent(s: &mut String, level: u32) {
+    for _ in 0..level {
+        s.push_str("  ");
+    }
+}
+
+fn render_stmt(s: &mut String, st: &GS, lvl: u32) {
+    indent(s, lvl);
+    match st {
+        GS::SetX(k, None, e) => {
+            let _ = writeln!(s, "x{k} = {};", render_expr(e));
+        }
+        GS::SetX(k, Some(op), e) => {
+            let _ = writeln!(s, "x{k} {op}= {};", render_expr(e));
+        }
+        GS::SetG(k, None, e) => {
+            let _ = writeln!(s, "g{k} = {};", render_expr(e));
+        }
+        GS::SetG(k, Some(op), e) => {
+            let _ = writeln!(s, "g{k} {op}= {};", render_expr(e));
+        }
+        GS::SetS(e) => {
+            let _ = writeln!(s, "*ps = {};", render_expr(e));
+        }
+        GS::Store(arr, i, None, v) => {
+            let _ = writeln!(
+                s,
+                "{}[({}) & 15] = {};",
+                ARRAYS[*arr as usize].0,
+                render_expr(i),
+                render_expr(v)
+            );
+        }
+        GS::Store(arr, i, Some(op), v) => {
+            let _ = writeln!(
+                s,
+                "{}[({}) & 15] {op}= {};",
+                ARRAYS[*arr as usize].0,
+                render_expr(i),
+                render_expr(v)
+            );
+        }
+        GS::PtrStore(arr, i, v) => {
+            let _ = writeln!(
+                s,
+                "*({} + (({}) & 15)) = {};",
+                ARRAYS[*arr as usize].0,
+                render_expr(i),
+                render_expr(v)
+            );
+        }
+        GS::CallH2(arr, i, v) => {
+            let _ = writeln!(
+                s,
+                "h2({}, {}, {});",
+                ARRAYS[*arr as usize].0,
+                render_expr(i),
+                render_expr(v)
+            );
+        }
+        GS::If(c, t, e) => {
+            let _ = writeln!(s, "if ({}) {{", render_expr(c));
+            for st in t {
+                render_stmt(s, st, lvl + 1);
+            }
+            indent(s, lvl);
+            if e.is_empty() {
+                s.push_str("}\n");
+            } else {
+                s.push_str("} else {\n");
+                for st in e {
+                    render_stmt(s, st, lvl + 1);
+                }
+                indent(s, lvl);
+                s.push_str("}\n");
+            }
+        }
+        GS::For(d, bound, body) => {
+            let _ = writeln!(s, "for (int i{d} = 0; i{d} < {bound}; i{d}++) {{");
+            for st in body {
+                render_stmt(s, st, lvl + 1);
+            }
+            indent(s, lvl);
+            s.push_str("}\n");
+        }
+        GS::While(d, start, dec, body) => {
+            // The decrement is the first statement of the body so `continue`
+            // cannot skip it: termination is structural.
+            let _ = writeln!(s, "{{ int w{d} = {start};");
+            indent(s, lvl);
+            let _ = writeln!(s, "while (w{d} > 0) {{");
+            indent(s, lvl + 1);
+            let _ = writeln!(s, "w{d} -= {dec};");
+            for st in body {
+                render_stmt(s, st, lvl + 1);
+            }
+            indent(s, lvl);
+            s.push_str("} }\n");
+        }
+        GS::DoW(d, count, body) => {
+            let _ = writeln!(s, "{{ int d{d} = {count};");
+            indent(s, lvl);
+            s.push_str("do {\n");
+            for st in body {
+                render_stmt(s, st, lvl + 1);
+            }
+            indent(s, lvl);
+            let _ = writeln!(s, "}} while (d{d}-- > 1); }}");
+        }
+        GS::IncStmt(k, inc) => {
+            let _ = writeln!(s, "x{k}{};", if *inc { "++" } else { "--" });
+        }
+        GS::Break => s.push_str("break;\n"),
+        GS::Continue => s.push_str("continue;\n"),
+        GS::Ret(e) => {
+            let _ = writeln!(s, "return ({});", render_expr(e));
+        }
+        GS::Once(d, body) => {
+            let _ = writeln!(s, "{{ int i{d} = 0;");
+            for st in body {
+                render_stmt(s, st, lvl + 1);
+            }
+            indent(s, lvl);
+            s.push_str("}\n");
+        }
+    }
+}
+
+fn render_expr(e: &GE) -> String {
+    match e {
+        GE::C(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        GE::N => "n".into(),
+        GE::X(k) => format!("x{k}"),
+        GE::G(k) => format!("g{k}"),
+        GE::S => "(*ps)".into(),
+        GE::L(d) => format!("i{d}"),
+        GE::Idx(arr, i) => format!("{}[({}) & 15]", ARRAYS[*arr as usize].0, render_expr(i)),
+        GE::PtrOff(arr, i) => {
+            format!("(*({} + (({}) & 15)))", ARRAYS[*arr as usize].0, render_expr(i))
+        }
+        GE::Bin(op, l, r) | GE::Logic(op, l, r) => {
+            format!("(({}) {op} ({}))", render_expr(l), render_expr(r))
+        }
+        GE::Un(op, a) => format!("({op}({}))", render_expr(a)),
+        GE::Tern(c, t, e) => {
+            format!("(({}) ? ({}) : ({}))", render_expr(c), render_expr(t), render_expr(e))
+        }
+        GE::H0(a, b) => format!("h0({}, {})", render_expr(a), render_expr(b)),
+        GE::H1(arr, i) => format!("h1({}, {})", ARRAYS[*arr as usize].0, render_expr(i)),
+        GE::H3(a) => format!("h3({})", render_expr(a)),
+        GE::IncX(k, pre, inc) => {
+            let op = if *inc { "++" } else { "--" };
+            if *pre {
+                format!("({op}x{k})")
+            } else {
+                format!("(x{k}{op})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(render(&gen(7)), render(&gen(8)));
+    }
+
+    #[test]
+    fn every_seed_compiles_and_interprets() {
+        for seed in 0..60 {
+            let src = render(&gen(seed));
+            let out = crate::interp::run_source(&src, "main", &[seed as i64 % 17], 1 << 20)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            assert!(out.ret.is_some(), "seed {seed} returned nothing");
+        }
+    }
+
+    #[test]
+    fn generator_covers_core_constructs() {
+        // Across a modest seed range the generator must exercise loops,
+        // branches and memory traffic — otherwise the harness tests little.
+        let mut has_for = false;
+        let mut has_while = false;
+        let mut has_if = false;
+        let mut has_store = false;
+        let mut has_call = false;
+        for seed in 0..80 {
+            let src = render(&gen(seed));
+            has_for |= src.contains("for (int i");
+            has_while |= src.contains("while (w");
+            has_if |= src.contains("if (");
+            has_store |= src.contains("] = ") || src.contains("] += ");
+            has_call |= src.contains("h0(") || src.contains("h1(") || src.contains("h3(");
+        }
+        assert!(has_for && has_while && has_if && has_store && has_call);
+    }
+}

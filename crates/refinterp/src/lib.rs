@@ -1,0 +1,36 @@
+//! Differential correctness subsystem for the CASH spatial compiler.
+//!
+//! The compiled circuit's only executable semantics used to be *itself*
+//! (`OptLevel::None` vs `OptLevel::Full`): a bug present in the builder, or
+//! one that every level shares, was invisible. This crate provides an
+//! **independent** executable semantics and the machinery to use it at scale:
+//!
+//! - [`interp`] — a direct tree-walking interpreter for the MiniC AST with
+//!   the same observable semantics as the compiled circuit (return value,
+//!   final memory image, wrap-around arithmetic, short-circuit evaluation,
+//!   out-of-bounds behavior). It shares the scalar evaluation rules
+//!   ([`cfgir::types`]) and the functional memory ([`ashsim::Machine`]) with
+//!   the simulator, so agreement is byte-exact by construction, not by luck.
+//! - [`gen`] — a seeded random program generator producing nested loops with
+//!   `break`/`continue`, data-dependent branches, pointer-offset addressing,
+//!   multiple arrays of different element widths, function calls and
+//!   loop-carried dependences — all guaranteed to terminate and to keep
+//!   memory accesses inside their objects (out-of-bounds accesses are C
+//!   undefined behavior, which the optimizer is entitled to exploit).
+//! - [`harness`] — compiles each program at every [`opt::OptLevel`], runs it
+//!   on `ashsim`, and compares return value and final memory image against
+//!   the interpreter. On a mismatch it bisects over optimizer pass prefixes
+//!   ([`opt::OptConfig::prefix`]) to the first offending pass invocation.
+//! - [`shrink`] — greedily minimizes a failing generated program and writes
+//!   a reproducer file (valid MiniC, metadata in `//` comments).
+
+pub mod gen;
+pub mod harness;
+pub mod interp;
+pub mod rng;
+pub mod shrink;
+
+pub use gen::{render, GenProgram};
+pub use harness::{diff_program, diff_source, DiffOptions, DiffOutcome, Failure};
+pub use interp::{run_source, InterpError, Outcome};
+pub use rng::Rng;

@@ -1,0 +1,387 @@
+//! Greedy minimizer for failing generated programs, plus the reproducer file.
+//!
+//! Shrinking works on the generator's statement tree, never on source text,
+//! so every candidate renders to a well-formed program. A candidate is kept
+//! only if the differential harness still classifies it as failing at the
+//! original level (oracle runs, circuit disagrees). Three families of edits
+//! are tried, cheapest-win first, to a fixpoint or an attempt budget:
+//!
+//! 1. **statement deletion** — any statement anywhere in the tree;
+//! 2. **unwrapping** — replace an `if` by one branch, or a loop by a single
+//!    `Once` iteration (keeping its counter in scope);
+//! 3. **expression simplification** — replace any subexpression by `0`/`1`.
+
+use crate::gen::{GenProgram, GE, GS};
+use crate::harness::{diff_source, BadPass, DiffOptions, DiffOutcome};
+use opt::OptLevel;
+use std::path::{Path, PathBuf};
+
+/// Everything needed to reproduce and triage a failure.
+#[derive(Debug, Clone)]
+pub struct Reproducer {
+    pub seed: u64,
+    pub args: Vec<i64>,
+    pub level: OptLevel,
+    pub detail: String,
+    pub pass: Option<BadPass>,
+    /// Minimized program (renderable MiniC).
+    pub reduced: GenProgram,
+    /// Where the reproducer file was written (if a directory was given).
+    pub path: Option<PathBuf>,
+}
+
+/// Shrinks `prog`, which must currently fail at `level`, re-bisects the
+/// reduced program, and (optionally) writes a reproducer file into `dir`.
+pub fn shrink_failure(
+    prog: &GenProgram,
+    args: &[i64],
+    level: OptLevel,
+    opts: &DiffOptions,
+    dir: Option<&Path>,
+) -> Reproducer {
+    let single = DiffOptions { levels: vec![level], ..opts.clone() };
+    let fails = |p: &GenProgram| -> Option<DiffOutcome> {
+        match diff_source(&crate::gen::render(p), args, &single) {
+            out @ DiffOutcome::Fail(_) => Some(out),
+            _ => None,
+        }
+    };
+    let reduced = shrink(prog, &mut |p| fails(p).is_some(), 600);
+    let (detail, pass) = match fails(&reduced) {
+        Some(DiffOutcome::Fail(f)) => (f.detail, f.pass),
+        // Unreachable — shrink only returns programs satisfying the
+        // predicate — but degrade gracefully rather than panic.
+        _ => (String::from("<failure no longer reproduces>"), None),
+    };
+    let mut rep = Reproducer {
+        seed: prog.seed,
+        args: args.to_vec(),
+        level,
+        detail,
+        pass,
+        reduced,
+        path: None,
+    };
+    if let Some(dir) = dir {
+        rep.path = write_reproducer(&rep, dir).ok();
+    }
+    rep
+}
+
+/// Greedy fixpoint shrink: `still_fails` must hold for the input and is
+/// maintained for the result.
+pub fn shrink(
+    prog: &GenProgram,
+    still_fails: &mut dyn FnMut(&GenProgram) -> bool,
+    max_attempts: usize,
+) -> GenProgram {
+    let mut cur = prog.clone();
+    let mut attempts = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&cur) {
+            if attempts >= max_attempts {
+                return cur;
+            }
+            attempts += 1;
+            if still_fails(&cand) {
+                cur = cand;
+                improved = true;
+                break; // restart candidate enumeration from the smaller program
+            }
+        }
+        if !improved {
+            return cur;
+        }
+    }
+}
+
+/// Candidate reductions of `p`, most aggressive first.
+fn candidates(p: &GenProgram) -> Vec<GenProgram> {
+    let mut out = Vec::new();
+    // 1. Delete each statement (outermost positions first: deleting a whole
+    //    loop beats deleting its body one line at a time).
+    for i in 0..count_stmts(&p.body) {
+        let mut c = p.clone();
+        let mut idx = i;
+        if delete_stmt(&mut c.body, &mut idx) {
+            out.push(c);
+        }
+    }
+    // 2. Unwrap control structures.
+    for i in 0..count_stmts(&p.body) {
+        let mut c = p.clone();
+        let mut idx = i;
+        if unwrap_stmt(&mut c.body, &mut idx) {
+            out.push(c);
+        }
+    }
+    // 3. Simplify the return expression, then every other expression.
+    for repl in [GE::C(0), GE::C(1)] {
+        if p.ret != repl {
+            let mut c = p.clone();
+            c.ret = repl.clone();
+            out.push(c);
+        }
+    }
+    let nexpr = count_exprs(&p.body);
+    for i in 0..nexpr {
+        for repl in [GE::C(0), GE::C(1)] {
+            let mut c = p.clone();
+            let mut idx = i;
+            if replace_expr(&mut c.body, &mut idx, &repl) {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+// ---- statement-tree surgery ----
+
+fn child_blocks(s: &mut GS) -> Vec<&mut Vec<GS>> {
+    match s {
+        GS::If(_, t, e) => vec![t, e],
+        GS::For(_, _, b) | GS::While(_, _, _, b) | GS::DoW(_, _, b) | GS::Once(_, b) => vec![b],
+        _ => Vec::new(),
+    }
+}
+
+fn count_stmts(body: &[GS]) -> usize {
+    let mut n = 0;
+    for s in body {
+        n += 1;
+        let mut s = s.clone();
+        for b in child_blocks(&mut s) {
+            n += count_stmts(b);
+        }
+    }
+    n
+}
+
+/// Deletes the `idx`-th statement in preorder. `idx` is decremented as the
+/// walk passes statements; 0 means "this one".
+fn delete_stmt(body: &mut Vec<GS>, idx: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *idx == 0 {
+            body.remove(i);
+            return true;
+        }
+        *idx -= 1;
+        for b in child_blocks(&mut body[i]) {
+            if delete_stmt(b, idx) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// Unwraps the `idx`-th statement in preorder: `if` → its then-branch
+/// (spliced), loops → a single [`GS::Once`] iteration.
+fn unwrap_stmt(body: &mut Vec<GS>, idx: &mut usize) -> bool {
+    let mut i = 0;
+    while i < body.len() {
+        if *idx == 0 {
+            let replacement: Vec<GS> = match &body[i] {
+                GS::If(_, t, e) => {
+                    let mut v = t.clone();
+                    v.extend(e.iter().cloned());
+                    v
+                }
+                GS::For(d, _, b) => vec![GS::Once(*d, b.clone())],
+                GS::While(d, _, _, b) | GS::DoW(d, _, b) => vec![GS::Once(*d, b.clone())],
+                GS::Once(_, b) => b.clone(),
+                _ => return false, // not unwrappable; no other edit at this index
+            };
+            body.splice(i..=i, replacement);
+            return true;
+        }
+        *idx -= 1;
+        for b in child_blocks(&mut body[i]) {
+            if unwrap_stmt(b, idx) {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+// ---- expression-tree surgery ----
+
+fn stmt_exprs(s: &mut GS) -> Vec<&mut GE> {
+    match s {
+        GS::SetX(_, _, e) | GS::SetG(_, _, e) | GS::SetS(e) | GS::Ret(e) => vec![e],
+        GS::Store(_, i, _, v) | GS::PtrStore(_, i, v) | GS::CallH2(_, i, v) => vec![i, v],
+        GS::If(c, _, _) => vec![c],
+        GS::For(..)
+        | GS::While(..)
+        | GS::DoW(..)
+        | GS::Once(..)
+        | GS::IncStmt(..)
+        | GS::Break
+        | GS::Continue => Vec::new(),
+    }
+}
+
+fn expr_children(e: &mut GE) -> Vec<&mut GE> {
+    match e {
+        GE::Idx(_, a) | GE::PtrOff(_, a) | GE::Un(_, a) | GE::H1(_, a) | GE::H3(a) => vec![a],
+        GE::Bin(_, a, b) | GE::Logic(_, a, b) | GE::H0(a, b) => vec![a, b],
+        GE::Tern(a, b, c) => vec![a, b, c],
+        GE::C(_) | GE::N | GE::X(_) | GE::G(_) | GE::S | GE::L(_) | GE::IncX(..) => Vec::new(),
+    }
+}
+
+fn count_expr_nodes(e: &GE) -> usize {
+    let mut e = e.clone();
+    1 + expr_children(&mut e).into_iter().map(|c| count_expr_nodes(c)).sum::<usize>()
+}
+
+fn count_exprs(body: &[GS]) -> usize {
+    let mut n = 0;
+    for s in body {
+        let mut s = s.clone();
+        for e in stmt_exprs(&mut s) {
+            n += count_expr_nodes(e);
+        }
+        for b in child_blocks(&mut s) {
+            n += count_exprs(b);
+        }
+    }
+    n
+}
+
+fn replace_in_expr(e: &mut GE, idx: &mut usize, repl: &GE) -> bool {
+    if *idx == 0 {
+        if e == repl {
+            return false; // no-op replacement would loop the shrinker
+        }
+        *e = repl.clone();
+        return true;
+    }
+    *idx -= 1;
+    for c in expr_children(e) {
+        if replace_in_expr(c, idx, repl) {
+            return true;
+        }
+    }
+    false
+}
+
+fn replace_expr(body: &mut [GS], idx: &mut usize, repl: &GE) -> bool {
+    for s in body {
+        for e in stmt_exprs(s) {
+            if replace_in_expr(e, idx, repl) {
+                return true;
+            }
+        }
+        for b in child_blocks(s) {
+            if replace_expr(b, idx, repl) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+// ---- reproducer files ----
+
+/// Writes the reproducer as *valid MiniC* with metadata in `//` comments, so
+/// it can be fed straight back to the compiler or interpreter.
+fn write_reproducer(rep: &Reproducer, dir: &Path) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro-seed{}.c", rep.seed));
+    let pass = match &rep.pass {
+        Some(p) => format!(
+            "{} (invocation {}{})",
+            p.name,
+            p.invocation,
+            p.round.map(|r| format!(", round {r}")).unwrap_or_default()
+        ),
+        None => "<before any pass: build/simulate>".into(),
+    };
+    let header = format!(
+        "// cash differential-harness reproducer\n\
+         // seed: {}\n\
+         // args: {:?}\n\
+         // opt level: {:?}\n\
+         // first offending pass: {}\n\
+         // mismatch: {}\n\
+         // re-run: refinterp::harness::diff_source(<this file>, &{:?}, &DiffOptions::default())\n",
+        rep.seed, rep.args, rep.level, pass, rep.detail, rep.args
+    );
+    let src = crate::gen::render(&rep.reduced);
+    std::fs::write(&path, format!("{header}{src}"))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn shrink_reaches_a_local_minimum() {
+        // Predicate: program still contains a store to array `a`. The
+        // shrinker must strip everything else but cannot lose the store.
+        let prog = gen::gen(3);
+        let mut pred =
+            |p: &GenProgram| gen::render(p).lines().any(|l| l.trim_start().starts_with("a["));
+        if !pred(&prog) {
+            return; // seed without a direct a[..] store; covered by other seeds
+        }
+        let red = shrink(&prog, &mut pred, 400);
+        assert!(pred(&red));
+        let before = gen::render(&prog).len();
+        let after = gen::render(&red).len();
+        assert!(after <= before, "shrink grew the program: {before} -> {after}");
+        // At the minimum, no single deletion may preserve the predicate
+        // within the attempt budget — spot-check: body is tiny.
+        assert!(count_stmts(&red.body) <= count_stmts(&prog.body));
+    }
+
+    #[test]
+    fn shrunk_programs_stay_wellformed() {
+        for seed in [1u64, 9, 23] {
+            let prog = gen::gen(seed);
+            // Aggressively shrink with an always-true predicate that still
+            // requires compilability (the harness itself guarantees this for
+            // real failures; here we check the tree surgery never produces
+            // syntactically or semantically invalid MiniC).
+            let mut pred = |p: &GenProgram| minic::compile_to_module(&gen::render(p)).is_ok();
+            let red = shrink(&prog, &mut pred, 300);
+            assert!(minic::compile_to_module(&gen::render(&red)).is_ok());
+        }
+    }
+
+    #[test]
+    fn unwrap_if_splices_both_branches() {
+        let mut body = vec![GS::If(
+            GE::N,
+            vec![GS::SetX(0, None, GE::C(1))],
+            vec![GS::SetX(1, None, GE::C(2))],
+        )];
+        let mut idx = 0;
+        assert!(unwrap_stmt(&mut body, &mut idx));
+        assert_eq!(body, vec![GS::SetX(0, None, GE::C(1)), GS::SetX(1, None, GE::C(2))]);
+    }
+
+    #[test]
+    fn unwrapped_loops_keep_counters_in_scope() {
+        // A `for` whose body uses its counter must stay compilable after the
+        // loop is unwrapped to a Once block.
+        let prog = GenProgram {
+            seed: 0,
+            body: vec![GS::For(0, 4, vec![GS::SetX(0, None, GE::L(0))])],
+            ret: GE::X(0),
+        };
+        let mut idx = 0;
+        let mut c = prog.clone();
+        assert!(unwrap_stmt(&mut c.body, &mut idx));
+        assert!(minic::compile_to_module(&gen::render(&c)).is_ok());
+    }
+}

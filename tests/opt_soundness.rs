@@ -1,118 +1,131 @@
-//! Optimizer soundness: randomized A/B testing. Random programs from a
-//! structured generator (seeded xorshift PRNG, so runs are reproducible)
-//! are compiled at `None` and `Full` and must agree on results and memory
-//! traffic for several inputs.
+//! Optimizer soundness: differential testing against the reference
+//! interpreter.
+//!
+//! Random programs from `refinterp::gen` (seeded, so every run is
+//! reproducible) are compiled and simulated at *every* `OptLevel` and must
+//! match the tree-walking interpreter's return value and final memory image.
+//! On a mismatch the harness bisects the pass pipeline to the first
+//! offending invocation and the shrinker writes a minimized reproducer —
+//! the failure message names the pass, not just the program.
+//!
+//! The sweep is split into four tests so the harness runs them in parallel.
 
 use cash::{Compiler, OptLevel, SimConfig};
+use refinterp::{diff_program, gen, DiffOptions, DiffOutcome};
 
-/// Minimal deterministic PRNG (xorshift64*): enough to drive the program
-/// generator without an external dependency.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
-    }
-
-    fn below(&mut self, n: u64) -> u64 {
-        self.next() % n
-    }
+/// Arguments for a seed: small, varied, and deterministic.
+fn args_for(seed: u64) -> [i64; 1] {
+    [(seed % 11) as i64]
 }
 
-/// A tiny random-program generator: straight-line and looped accesses over
-/// two arrays with data-dependent branches.
-#[derive(Debug, Clone)]
-enum Op {
-    StoreA { idx: u8, val: i8 },
-    StoreB { idx: u8, val: i8 },
-    AccLoadA { idx: u8 },
-    AccLoadB { idx: u8 },
-    CondStoreA { idx: u8, val: i8 },
-    LoopCopy { len: u8, off: u8 },
-    LoopAcc { len: u8 },
-}
-
-fn gen_op(rng: &mut Rng) -> Op {
-    let idx = rng.below(8) as u8;
-    let val = rng.next() as i8;
-    match rng.below(7) {
-        0 => Op::StoreA { idx, val },
-        1 => Op::StoreB { idx, val },
-        2 => Op::AccLoadA { idx },
-        3 => Op::AccLoadB { idx },
-        4 => Op::CondStoreA { idx, val },
-        5 => Op::LoopCopy { len: 1 + rng.below(5) as u8, off: rng.below(3) as u8 },
-        _ => Op::LoopAcc { len: 1 + rng.below(7) as u8 },
+/// Checks one seed range at every opt level; panics with the bisected pass
+/// and the full program text on any disagreement.
+fn sweep(seeds: std::ops::Range<u64>) {
+    let opts = DiffOptions::default();
+    for seed in seeds {
+        let prog = gen::gen(seed);
+        match diff_program(&prog, &args_for(seed), &opts) {
+            DiffOutcome::Agree => {}
+            DiffOutcome::OracleError(e) => {
+                panic!("seed {seed}: oracle refused an in-domain program: {e}")
+            }
+            DiffOutcome::Fail(f) => panic!(
+                "seed {seed} at {:?}: {}\nfirst offending pass: {:?}\n{}",
+                f.level,
+                f.detail,
+                f.pass,
+                gen::render(&prog)
+            ),
+        }
     }
-}
-
-fn emit(ops: &[Op]) -> String {
-    let mut body = String::new();
-    for (k, o) in ops.iter().enumerate() {
-        let stmt = match o {
-            Op::StoreA { idx, val } => format!("a[{idx}] = {val};"),
-            Op::StoreB { idx, val } => format!("b[{idx}] = {val};"),
-            Op::AccLoadA { idx } => format!("acc += a[{idx}];"),
-            Op::AccLoadB { idx } => format!("acc += b[{idx}];"),
-            Op::CondStoreA { idx, val } => {
-                format!("if ((x + {k}) & 1) a[{idx}] = {val};")
-            }
-            Op::LoopCopy { len, off } => {
-                format!("for (int i = 0; i < {len}; i++) b[i + {off}] = a[i] + 1;")
-            }
-            Op::LoopAcc { len } => {
-                format!("for (int i = 0; i < {len}; i++) acc += a[i] ^ b[i];")
-            }
-        };
-        body.push_str("            ");
-        body.push_str(&stmt);
-        body.push('\n');
-    }
-    format!(
-        "int a[16]; int b[16];
-         int main(int x) {{
-            int acc = x;
-{body}
-            int sum = 0;
-            for (int i = 0; i < 16; i++) sum += a[i] * 3 + b[i];
-            return acc * 100003 + sum;
-         }}"
-    )
 }
 
 #[test]
-fn optimizer_preserves_program_behaviour() {
-    let mut rng = Rng(0x5eed_0004);
-    for case in 0..24 {
-        let n_ops = 1 + rng.below(9) as usize;
-        let ops: Vec<Op> = (0..n_ops).map(|_| gen_op(&mut rng)).collect();
-        let src = emit(&ops);
+fn generated_programs_agree_with_the_interpreter_q1() {
+    sweep(0..75);
+}
+
+#[test]
+fn generated_programs_agree_with_the_interpreter_q2() {
+    sweep(75..150);
+}
+
+#[test]
+fn generated_programs_agree_with_the_interpreter_q3() {
+    sweep(150..225);
+}
+
+#[test]
+fn generated_programs_agree_with_the_interpreter_q4() {
+    sweep(225..300);
+}
+
+#[test]
+fn optimization_never_increases_memory_traffic_on_generated_programs() {
+    for seed in 0..30u64 {
+        let src = gen::render(&gen::gen(seed));
         let base = Compiler::new().level(OptLevel::None).compile(&src).expect("baseline compiles");
         let full = Compiler::new().level(OptLevel::Full).compile(&src).expect("optimized compiles");
-        for x in [0i64, 1, -3, 42] {
+        for x in args_for(seed) {
             let r0 = base.simulate(&[x], &SimConfig::perfect()).expect("baseline runs");
             let r1 = full.simulate(&[x], &SimConfig::perfect()).expect("optimized runs");
-            assert_eq!(r0.ret, r1.ret, "case {case} x={x} src:\n{src}");
-            // The optimizer must never *increase* memory traffic.
+            assert_eq!(r0.ret, r1.ret, "seed {seed} x={x}:\n{src}");
             assert!(
                 r1.stats.loads <= r0.stats.loads,
-                "loads grew {} -> {} for:\n{src}",
+                "seed {seed}: loads grew {} -> {} for:\n{src}",
                 r0.stats.loads,
                 r1.stats.loads,
             );
             assert!(
                 r1.stats.stores <= r0.stats.stores,
-                "stores grew {} -> {} for:\n{src}",
+                "seed {seed}: stores grew {} -> {} for:\n{src}",
                 r0.stats.stores,
                 r1.stats.stores,
             );
         }
     }
+}
+
+#[test]
+fn an_injected_optimizer_fault_is_caught_bisected_and_shrunk() {
+    // End-to-end self-test of the harness: arm the optimizer's fault
+    // injection so `load_store` miscompiles, then check that the harness
+    // catches the mismatch, bisection names the exact sabotaged pass, and
+    // the shrinker writes a reproducer that still pinpoints it.
+    let opts = DiffOptions {
+        levels: vec![OptLevel::Full],
+        sabotage: Some("load_store"),
+        ..DiffOptions::default()
+    };
+    let prog = gen::gen(0);
+    let args = args_for(0);
+    let failure = match diff_program(&prog, &args, &opts) {
+        DiffOutcome::Fail(f) => f,
+        other => panic!("sabotaged compiler must disagree with the oracle, got {other:?}"),
+    };
+    let bad = failure.pass.expect("mismatch appears only once the sabotaged pass runs");
+    assert_eq!(bad.name, "load_store", "bisection must name the sabotaged pass");
+
+    let dir = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("repro");
+    let rep = refinterp::shrink::shrink_failure(&prog, &args, OptLevel::Full, &opts, Some(&dir));
+    assert_eq!(
+        rep.pass.as_ref().map(|p| p.name.as_str()),
+        Some("load_store"),
+        "the shrunk program must still bisect to the sabotaged pass"
+    );
+
+    // The reproducer file names the seed and the pass, and its body (header
+    // comments included) is compilable MiniC.
+    let path = rep.path.expect("reproducer written");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("// seed: 0"), "missing seed line:\n{text}");
+    assert!(text.contains("first offending pass: load_store"), "missing pass line:\n{text}");
+    Compiler::new().level(OptLevel::None).compile(&text).expect("reproducer compiles as-is");
+
+    // Shrinking must not grow the program.
+    let orig_len = gen::render(&prog).len();
+    let red_len = gen::render(&rep.reduced).len();
+    assert!(red_len <= orig_len, "shrinker grew the program: {orig_len} -> {red_len}");
 }
 
 #[test]

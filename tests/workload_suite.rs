@@ -2,7 +2,27 @@
 //! claims in miniature, checked as hard assertions.
 
 use cash::{MemSystem, OptLevel, SimConfig};
+use refinterp::{diff_source, DiffOptions, DiffOutcome};
 use workloads::suite;
+
+#[test]
+fn every_kernel_agrees_with_the_reference_interpreter() {
+    // Each benchmark kernel, at every opt level, must match the reference
+    // interpreter's return value *and* final memory image. This pins the
+    // whole pipeline (frontend, Pegasus build, every pass, the simulator)
+    // against an independent executable semantics.
+    let opts = DiffOptions { fuel: 1 << 26, max_cycles: 5_000_000, ..DiffOptions::default() };
+    for w in suite() {
+        match diff_source(w.source, &[w.default_arg], &opts) {
+            DiffOutcome::Agree => {}
+            DiffOutcome::OracleError(e) => panic!("{}: oracle could not run kernel: {e}", w.name),
+            DiffOutcome::Fail(f) => panic!(
+                "{} at {:?}: {}\nfirst offending pass: {:?}",
+                w.name, f.level, f.detail, f.pass
+            ),
+        }
+    }
+}
 
 #[test]
 fn full_optimization_never_increases_dynamic_memory_traffic() {
