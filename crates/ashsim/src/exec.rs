@@ -17,9 +17,9 @@ use crate::memory::{Machine, MemStats, MemSystem};
 use crate::profile::{kind_label, NodeProfile, SimProfile, StallCause};
 use crate::trace::{Trace, TraceEvent};
 use cfgir::types::{BinOp, Type};
-use pegasus::{Graph, NodeId, NodeKind, Src, VClass};
+use pegasus::{FlatPorts, Graph, NodeId, NodeKind, Src, VClass};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 /// Simulation parameters.
@@ -83,6 +83,14 @@ pub struct SimResult {
     pub stats: MemStats,
     /// Total node firings — a proxy for dynamic operation count.
     pub fired: u64,
+    /// Times the scheduler's zero-latency spin guard tripped and pushed
+    /// the rest of a same-cycle cascade into the next cycle. Zero for
+    /// every well-formed circuit; a nonzero count flags a (near-)livelock
+    /// that would otherwise be silently absorbed as extra cycles.
+    pub deferrals: u64,
+    /// Wall-clock time the simulation took, microseconds (the simulator's
+    /// own cost, not the simulated circuit's — mirrors `opt.us`).
+    pub wall_us: u64,
     /// Per-node firing/stall profile ([`SimConfig::profile`]).
     pub profile: Option<SimProfile>,
     /// Recorded event stream ([`SimConfig::trace`]).
@@ -96,10 +104,12 @@ impl SimResult {
     /// ([`SimProfile::to_json`], [`Trace::to_chrome_json`]).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"ret\":{},\"cycles\":{},\"fired\":{},\"mem\":{}}}",
+            "{{\"ret\":{},\"cycles\":{},\"fired\":{},\"deferrals\":{},\"us\":{},\"mem\":{}}}",
             self.ret.map_or("null".to_string(), |v| v.to_string()),
             self.cycles,
             self.fired,
+            self.deferrals,
+            self.wall_us,
             self.stats.to_json(),
         )
     }
@@ -191,7 +201,10 @@ pub fn simulate(
     args: &[i64],
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    Executor::new(graph, machine, args, config)?.run()
+    let t0 = std::time::Instant::now();
+    let mut r = Executor::new(graph, machine, args, config)?.run()?;
+    r.wall_us = t0.elapsed().as_micros() as u64;
+    Ok(r)
 }
 
 /// Diagnostic: runs the graph and, on failure, returns a textual dump of
@@ -205,21 +218,27 @@ pub fn diagnose(
     args: &[i64],
     config: &SimConfig,
 ) -> Result<SimResult, (SimError, String)> {
+    let t0 = std::time::Instant::now();
     let mut ex = Executor::new(graph, machine, args, config).map_err(|e| (e, String::new()))?;
     loop {
         match ex.step_once() {
-            Ok(Some(r)) => break Ok(r),
+            Ok(Some(mut r)) => {
+                r.wall_us = t0.elapsed().as_micros() as u64;
+                break Ok(r);
+            }
             Ok(None) => continue,
             Err(e) => {
                 use std::fmt::Write;
                 let mut s = String::new();
                 for b in ex.blocked_nodes() {
                     let lens: Vec<usize> = (0..ex.g.num_inputs(b.node))
-                        .map(|p| ex.fifos[b.node.index()][p].len())
+                        .map(|p| ex.fifos.len(ex.flat.in_id(b.node, p as u16) as usize))
                         .collect();
                     let _ = writeln!(s, "{b}, fifo lens {lens:?}");
                 }
-                for (id, st) in &ex.tokengen {
+                for (i, st) in ex.tokengen.iter().enumerate() {
+                    let Some(st) = st else { continue };
+                    let id = NodeId(i as u32);
                     let _ = writeln!(s, "{id} TK credits={} queued={:?}", st.credits, st.queue);
                 }
                 break Err((e, s));
@@ -247,6 +266,7 @@ struct MemRequest {
 }
 
 /// One outstanding output slot of a memory node (see `Executor::mem_out`).
+#[derive(Debug, Clone, Copy)]
 enum PendingOut {
     /// A queued LSQ request will fill this slot when it issues.
     Real,
@@ -254,6 +274,7 @@ enum PendingOut {
     Null(i64),
 }
 
+#[derive(Clone)]
 struct TokenGenState {
     credits: u64,
     /// Predicates seen but not yet granted, in arrival order. `true`
@@ -266,38 +287,50 @@ struct TokenGenState {
 
 struct Executor<'a> {
     g: &'a Graph,
+    /// Dense port ids + CSR consumer adjacency (see [`pegasus::flat`]):
+    /// the hot loop never walks `Graph`'s per-node `Vec`s.
+    flat: FlatPorts,
     machine: &'a mut Machine,
     config: &'a SimConfig,
-    /// Per node, per input port: FIFO of (global sequence, value).
-    fifos: Vec<Vec<VecDeque<(u64, i64)>>>,
-    /// Space reserved for in-flight deliveries, per (node, port).
-    reserved: HashMap<(u32, u16), u32>,
-    /// Latest scheduled delivery time per output port: deliveries on one
-    /// edge must stay in FIFO order even when latencies vary (a nullified
-    /// memory operation completes instantly; a cache miss takes dozens of
-    /// cycles).
-    out_horizon: HashMap<(u32, u16), u64>,
-    /// Outstanding output slots per memory-node port, in firing order: a
-    /// `Real` slot is an LSQ request whose result has not been scheduled
-    /// yet; `Null` slots are nullified-firing values waiting behind it
-    /// (see [`Self::emit_mem_or_defer`]).
-    mem_out: HashMap<(u32, u16), VecDeque<PendingOut>>,
+    /// Per flat input port: FIFO of (global sequence, value), all ports in
+    /// one slab.
+    fifos: PortFifos,
+    /// Sticky value of each flat input port's source, precomputed so the
+    /// firing path never consults the graph's input tables.
+    in_sticky: Vec<Option<i64>>,
+    /// Producer node of each flat input port (`u32::MAX` if unconnected) —
+    /// the node to wake when a pop frees channel space.
+    in_src: Vec<u32>,
+    /// Space reserved for in-flight deliveries, per flat input port.
+    reserved: Vec<u32>,
+    /// Latest scheduled delivery time per flat output port: deliveries on
+    /// one edge must stay in FIFO order even when latencies vary (a
+    /// nullified memory operation completes instantly; a cache miss takes
+    /// dozens of cycles).
+    out_horizon: Vec<u64>,
+    /// Outstanding output slots per memory-node flat output port, in
+    /// firing order: a `Real` slot is an LSQ request whose result has not
+    /// been scheduled yet; `Null` slots are nullified-firing values
+    /// waiting behind it (see [`Self::emit_mem_or_defer`]).
+    mem_out: Vec<VecDeque<PendingOut>>,
     /// Sticky (run-time constant) value of each node's output 0.
     sticky: Vec<Option<i64>>,
     /// Nodes with all-sticky inputs: they fire exactly once.
     once_only: Vec<bool>,
     has_fired: Vec<bool>,
-    /// Event queue: (time, sequence, event).
-    events: BinaryHeap<Reverse<(u64, u64, EvBox)>>,
+    /// Pending deliveries/releases, bucketed by cycle.
+    events: EventQueue,
     /// Nodes to re-examine this cycle.
     dirty: VecDeque<NodeId>,
     in_dirty: Vec<bool>,
-    tokengen: HashMap<NodeId, TokenGenState>,
+    /// Token-generator state, dense by node index (`None` elsewhere).
+    tokengen: Vec<Option<TokenGenState>>,
     lsq_queue: VecDeque<MemRequest>,
     lsq_in_flight: u32,
     seq: u64,
     now: u64,
     fired: u64,
+    deferrals: u64,
     result: Option<(Option<i64>, u64)>,
     /// Per-node profile, allocated only when `config.profile` is set.
     prof: Option<Vec<NodeProfile>>,
@@ -308,7 +341,8 @@ struct Executor<'a> {
     trace: Option<Vec<TraceEvent>>,
 }
 
-/// Orderable wrapper so the heap can hold events (events are not `Ord`).
+/// Orderable wrapper so the overflow heap can hold events (events are not
+/// `Ord`; ties are broken by the sequence number next to it).
 #[derive(Debug, Clone, Copy)]
 struct EvBox(Ev);
 
@@ -329,6 +363,202 @@ impl Ord for EvBox {
     }
 }
 
+/// Every channel FIFO, in one contiguous slab: port `p` owns the slot
+/// range `[p·cap, (p+1)·cap)` as a circular buffer. The reservation
+/// discipline bounds every channel at `channel_capacity` entries, so
+/// fixed-size slots suffice and the delivery path never allocates; one
+/// slab replaces a heap block per port.
+struct PortFifos {
+    cap: usize,
+    slots: Vec<(u64, i64)>,
+    head: Vec<u32>,
+    len: Vec<u32>,
+}
+
+impl PortFifos {
+    fn new(num_ports: usize, cap: usize) -> PortFifos {
+        PortFifos {
+            cap,
+            slots: vec![(0, 0); num_ports * cap],
+            head: vec![0; num_ports],
+            len: vec![0; num_ports],
+        }
+    }
+
+    #[inline]
+    fn is_empty(&self, p: usize) -> bool {
+        self.len[p] == 0
+    }
+
+    #[inline]
+    fn len(&self, p: usize) -> usize {
+        self.len[p] as usize
+    }
+
+    #[inline]
+    fn front(&self, p: usize) -> Option<(u64, i64)> {
+        if self.len[p] == 0 {
+            None
+        } else {
+            Some(self.slots[p * self.cap + self.head[p] as usize])
+        }
+    }
+
+    #[inline]
+    fn push_back(&mut self, p: usize, entry: (u64, i64)) {
+        let len = self.len[p] as usize;
+        debug_assert!(len < self.cap, "channel over capacity: reservation discipline broken");
+        let at = p * self.cap + (self.head[p] as usize + len) % self.cap;
+        self.slots[at] = entry;
+        self.len[p] += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self, p: usize) -> Option<(u64, i64)> {
+        if self.len[p] == 0 {
+            return None;
+        }
+        let at = p * self.cap + self.head[p] as usize;
+        self.head[p] = ((self.head[p] as usize + 1) % self.cap) as u32;
+        self.len[p] -= 1;
+        Some(self.slots[at])
+    }
+}
+
+/// Calendar-bucket ring size, in cycles. Covers every ALU latency and the
+/// realistic memory hierarchy's worst case (TLB miss + L1 + L2 + DRAM +
+/// word gaps ≈ 150 cycles); anything scheduled further out — e.g. a
+/// `Perfect { latency }` model with a huge latency — takes the overflow
+/// heap, which is correct at any horizon, just not O(1).
+const RING: u64 = 256;
+
+/// The simulator's event queue: a calendar of per-cycle buckets with a
+/// fallback binary heap for far-future events.
+///
+/// The previous implementation kept every pending delivery in one
+/// `BinaryHeap<Reverse<(cycle, seq, event)>>`: each push/pop paid
+/// `O(log n)` three-word comparisons and the sift traffic dominated the
+/// scheduler's profile. Almost all events land within a few cycles of
+/// `now` (ALU latencies of 1–20, cache hits of 2–8), so a ring of `RING`
+/// per-cycle `Vec` buckets makes push O(1) and pop a drain of the current
+/// bucket. Bucket `Vec`s and the `due` scratch buffer are recycled, so in
+/// steady state the queue performs no allocation at all.
+///
+/// Ordering contract (must match the old heap exactly): events are
+/// processed in `(cycle, seq)` order. Within a bucket, pushes happen in
+/// ascending `seq` order, so a bucket drain is already sorted; a sort is
+/// needed only on the rare cycle where the overflow heap contributes too.
+struct EventQueue {
+    /// `ring[t % RING]` holds `(t, seq, ev)` entries for cycle `t` (and,
+    /// transiently, for `t + k·RING` — filtered on drain).
+    ring: Vec<Vec<(u64, u64, Ev)>>,
+    /// Events scheduled `RING` or more cycles ahead.
+    overflow: BinaryHeap<Reverse<(u64, u64, EvBox)>>,
+    /// Entries currently in the ring (not counting `overflow`).
+    ring_len: usize,
+    /// Cycles `<= drained` have been fully delivered (modulo stragglers
+    /// pushed at `t == drained` after the drain, which the next call picks
+    /// up because the scan restarts at `drained`).
+    drained: u64,
+    /// Recycled buffer for [`Self::take_due`].
+    scratch: Vec<(u64, u64, Ev)>,
+}
+
+impl EventQueue {
+    fn new() -> EventQueue {
+        EventQueue {
+            ring: (0..RING).map(|_| Vec::new()).collect(),
+            overflow: BinaryHeap::new(),
+            ring_len: 0,
+            drained: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Schedules `ev` at cycle `t` with tiebreaker `seq`. `t` must not lie
+    /// in the past (callers schedule at `now` or later).
+    fn push(&mut self, t: u64, seq: u64, ev: Ev) {
+        if t < self.drained + RING {
+            self.ring[(t % RING) as usize].push((t, seq, ev));
+            self.ring_len += 1;
+        } else {
+            self.overflow.push(Reverse((t, seq, EvBox(ev))));
+        }
+    }
+
+    /// Removes and returns every event scheduled at cycle `now` or
+    /// earlier, in `(cycle, seq)` order. The returned buffer must be
+    /// handed back via [`Self::recycle`] after processing.
+    fn take_due(&mut self, now: u64) -> Vec<(u64, u64, Ev)> {
+        let mut due = std::mem::take(&mut self.scratch);
+        let mut from_overflow = false;
+        while let Some(&Reverse((t, _, _))) = self.overflow.peek() {
+            if t > now {
+                break;
+            }
+            let Reverse((t, s, EvBox(ev))) = self.overflow.pop().expect("peeked");
+            due.push((t, s, ev));
+            from_overflow = true;
+        }
+        if self.ring_len > 0 {
+            for c in self.drained..=now {
+                let slot = &mut self.ring[(c % RING) as usize];
+                if slot.is_empty() {
+                    continue;
+                }
+                if slot.iter().all(|&(t, _, _)| t == c) {
+                    // Common case: the whole bucket is due; moving it out
+                    // keeps the bucket's capacity for reuse.
+                    self.ring_len -= slot.len();
+                    due.append(slot);
+                } else {
+                    // A wrapped entry (t = c + k·RING) shares the bucket:
+                    // extract only the due ones, preserving order.
+                    let before = slot.len();
+                    slot.retain(|&e| {
+                        if e.0 == c {
+                            due.push(e);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    self.ring_len -= before - slot.len();
+                }
+            }
+        }
+        self.drained = now;
+        if from_overflow {
+            // Overflow events were prepended; restore global order.
+            due.sort_unstable_by_key(|&(t, s, _)| (t, s));
+        }
+        due
+    }
+
+    /// Returns the processed buffer from [`Self::take_due`] for reuse.
+    fn recycle(&mut self, mut due: Vec<(u64, u64, Ev)>) {
+        due.clear();
+        self.scratch = due;
+    }
+
+    /// The earliest scheduled cycle, if any events are pending.
+    fn next_time(&self) -> Option<u64> {
+        let mut best = self.overflow.peek().map(|&Reverse((t, _, _))| t);
+        if self.ring_len > 0 {
+            // Every ring entry has t in [drained, drained + RING), so the
+            // first cycle whose bucket holds a matching entry is the min.
+            for k in 0..RING {
+                let c = self.drained + k;
+                if self.ring[(c % RING) as usize].iter().any(|&(t, _, _)| t == c) {
+                    best = Some(best.map_or(c, |b| b.min(c)));
+                    break;
+                }
+            }
+        }
+        best
+    }
+}
+
 impl<'a> Executor<'a> {
     fn new(
         g: &'a Graph,
@@ -337,11 +567,8 @@ impl<'a> Executor<'a> {
         config: &'a SimConfig,
     ) -> Result<Self, SimError> {
         let n = g.len();
-        let mut fifos = Vec::with_capacity(n);
-        for id in g.ids() {
-            let nin = if matches!(g.kind(id), NodeKind::Removed) { 0 } else { g.num_inputs(id) };
-            fifos.push(vec![VecDeque::new(); nin]);
-        }
+        let flat = FlatPorts::new(g);
+        let fifos = PortFifos::new(flat.num_in_ports(), config.channel_capacity.max(1));
         // Sticky propagation over topological order.
         let mut sticky: Vec<Option<i64>> = vec![None; n];
         for id in pegasus::topo_order(g) {
@@ -411,11 +638,26 @@ impl<'a> Executor<'a> {
             });
             once_only[id.index()] = all;
         }
-        let mut tokengen = HashMap::new();
+        let mut tokengen: Vec<Option<TokenGenState>> = vec![None; n];
         for id in g.live_ids() {
             if let NodeKind::TokenGen { n } = g.kind(id) {
-                tokengen
-                    .insert(id, TokenGenState { credits: u64::from(*n), queue: VecDeque::new() });
+                tokengen[id.index()] =
+                    Some(TokenGenState { credits: u64::from(*n), queue: VecDeque::new() });
+            }
+        }
+        let num_in = flat.num_in_ports();
+        let num_out = flat.num_out_ports();
+        // Flatten the input side: each flat port's sticky source value and
+        // producer node, so `avail`/`pop_input` never walk the graph.
+        let mut in_sticky: Vec<Option<i64>> = vec![None; num_in];
+        let mut in_src: Vec<u32> = vec![u32::MAX; num_in];
+        for id in g.ids() {
+            for p in 0..g.num_inputs(id) as u16 {
+                if let Some(i) = g.input(id, p) {
+                    let fp = flat.in_id(id, p) as usize;
+                    in_sticky[fp] = sticky_of(&sticky, i.src);
+                    in_src[fp] = i.src.node.0;
+                }
             }
         }
         let mut ex = Executor {
@@ -423,13 +665,16 @@ impl<'a> Executor<'a> {
             machine,
             config,
             fifos,
-            reserved: HashMap::new(),
-            out_horizon: HashMap::new(),
-            mem_out: HashMap::new(),
+            in_sticky,
+            in_src,
+            reserved: vec![0; num_in],
+            out_horizon: vec![0; num_out],
+            mem_out: (0..num_out).map(|_| VecDeque::new()).collect(),
+            flat,
             sticky,
             once_only,
             has_fired: vec![false; n],
-            events: BinaryHeap::new(),
+            events: EventQueue::new(),
             dirty: VecDeque::new(),
             in_dirty: vec![false; n],
             tokengen,
@@ -438,6 +683,7 @@ impl<'a> Executor<'a> {
             seq: 0,
             now: 0,
             fired: 0,
+            deferrals: 0,
             result: None,
             prof: config.profile.then(|| vec![NodeProfile::default(); n]),
             stall_since: if config.profile { vec![None; n] } else { Vec::new() },
@@ -458,7 +704,7 @@ impl<'a> Executor<'a> {
 
     fn push_event(&mut self, t: u64, ev: Ev) {
         self.seq += 1;
-        self.events.push(Reverse((t, self.seq, EvBox(ev))));
+        self.events.push(t, self.seq, ev);
     }
 
     fn mark_dirty(&mut self, id: NodeId) {
@@ -482,12 +728,11 @@ impl<'a> Executor<'a> {
     /// Returns `Ok(Some(result))` on completion, `Ok(None)` to continue.
     fn step_once(&mut self) -> Result<Option<SimResult>, SimError> {
         {
-            // 1. Deliver everything scheduled for `now`.
-            while let Some(Reverse((t, _, _))) = self.events.peek() {
-                if *t > self.now {
-                    break;
-                }
-                let Reverse((_, _, EvBox(ev))) = self.events.pop().expect("peeked");
+            // 1. Deliver everything scheduled for `now`. Delivery never
+            // schedules new same-cycle events (zero-latency emission calls
+            // `deliver` directly), so one drain is exhaustive.
+            let due = self.events.take_due(self.now);
+            for &(_, _, ev) in &due {
                 match ev {
                     Ev::Deliver { node, port, value } => self.deliver(node, port, value),
                     Ev::LsqRelease => {
@@ -502,6 +747,7 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
+            self.events.recycle(due);
             // 2. Issue LSQ requests for this cycle.
             self.lsq_issue();
             // 3. Fire ready nodes; zero-latency cascades iterate.
@@ -515,19 +761,25 @@ impl<'a> Executor<'a> {
                 }
                 steps += 1;
                 if steps > step_cap {
-                    break; // zero-latency spin guard: defer to next cycle
+                    // Zero-latency spin guard: defer the rest of the
+                    // cascade to the next cycle — and *count* it, so a
+                    // livelocked circuit shows up in the stats instead of
+                    // silently burning cycles.
+                    self.deferrals += 1;
+                    break;
                 }
             }
             if let Some((ret, cycles)) = self.result {
                 return Ok(Some(self.finish(ret, cycles)));
             }
-            // 4. Advance time.
-            let next_event = self.events.peek().map(|Reverse((t, _, _))| *t);
+            // 4. Advance time. The bucket scan in `next_time` only runs
+            // when the circuit is quiescent and we must jump to the next
+            // scheduled event; a busy circuit advances one cycle for free.
             let busy = !self.dirty.is_empty() || !self.lsq_queue.is_empty();
             let next = if busy {
                 self.now + 1
             } else {
-                match next_event {
+                match self.events.next_time() {
                     Some(t) => t.max(self.now + 1),
                     None => {
                         return Err(SimError::Deadlock {
@@ -549,64 +801,55 @@ impl<'a> Executor<'a> {
     fn deliver(&mut self, node: NodeId, port: u16, value: i64) {
         self.seq += 1;
         let seq = self.seq;
-        let consumers: Vec<(NodeId, u16)> = self
-            .g
-            .uses(node)
-            .iter()
-            .filter(|u| u.src_port == port)
-            .map(|u| (u.dst, u.dst_port))
-            .collect();
-        for (dst, dport) in consumers {
-            if let Some(r) = self.reserved.get_mut(&(dst.0, dport)) {
-                if *r > 0 {
-                    *r -= 1;
-                }
+        let (start, end) = self.flat.consumer_range(node, port);
+        for i in start..end {
+            let u = self.flat.consumer_at(i);
+            let r = &mut self.reserved[u.dst_flat as usize];
+            if *r > 0 {
+                *r -= 1;
             }
-            self.fifos[dst.index()][dport as usize].push_back((seq, value));
-            self.mark_dirty(dst);
+            self.fifos.push_back(u.dst_flat as usize, (seq, value));
+            self.mark_dirty(u.dst);
         }
         // The producer may be waiting for space that just got consumed
         // elsewhere; consumers of space changes are handled in `pop_input`.
     }
 
-    /// Is input `port` of `id` available?
+    /// Is input `port` of `id` available? (Unconnected ports have neither
+    /// a sticky source nor deliveries, so they report unavailable.)
     fn avail(&self, id: NodeId, port: u16) -> bool {
-        let inp = match self.g.input(id, port) {
-            Some(i) => i,
-            None => return false,
-        };
-        if sticky_of(&self.sticky, inp.src).is_some() {
-            return true;
-        }
-        !self.fifos[id.index()][port as usize].is_empty()
+        let fp = self.flat.in_id(id, port) as usize;
+        self.in_sticky[fp].is_some() || !self.fifos.is_empty(fp)
     }
 
     /// Oldest sequence number waiting on input `port` (non-sticky only).
     fn front_seq(&self, id: NodeId, port: u16) -> Option<u64> {
-        self.fifos[id.index()][port as usize].front().map(|&(s, _)| s)
+        self.fifos.front(self.flat.in_id(id, port) as usize).map(|(s, _)| s)
     }
 
     /// Pops input `port` (no-op for sticky inputs), waking the producer.
     fn pop_input(&mut self, id: NodeId, port: u16) -> i64 {
-        let inp = self.g.input(id, port).expect("pop of connected input");
-        if let Some(v) = sticky_of(&self.sticky, inp.src) {
+        let fp = self.flat.in_id(id, port) as usize;
+        if let Some(v) = self.in_sticky[fp] {
             return v;
         }
-        let (_, v) =
-            self.fifos[id.index()][port as usize].pop_front().expect("pop of available input");
-        // Space freed: the producer might be blocked on it.
-        self.mark_dirty(inp.src.node);
+        let was_full =
+            self.fifos.len(fp) + self.reserved[fp] as usize >= self.config.channel_capacity;
+        let (_, v) = self.fifos.pop_front(fp).expect("pop of available input");
+        // Wake the producer only on a full→non-full transition: a producer
+        // can be space-blocked on this channel only if it was full, and
+        // `space_for` rechecks every consumer when it retries.
+        if was_full {
+            self.mark_dirty(NodeId(self.in_src[fp]));
+        }
         v
     }
 
     /// Do all consumers of output `port` of `id` have space for one value?
     fn space_for(&self, id: NodeId, port: u16) -> bool {
-        for u in self.g.uses(id) {
-            if u.src_port != port {
-                continue;
-            }
-            let len = self.fifos[u.dst.index()][u.dst_port as usize].len();
-            let res = *self.reserved.get(&(u.dst.0, u.dst_port)).unwrap_or(&0) as usize;
+        for u in self.flat.consumers(id, port) {
+            let len = self.fifos.len(u.dst_flat as usize);
+            let res = self.reserved[u.dst_flat as usize] as usize;
             if len + res >= self.config.channel_capacity {
                 return false;
             }
@@ -617,10 +860,10 @@ impl<'a> Executor<'a> {
     /// Reserves one slot in every consumer of `(id, port)` (for deliveries
     /// that complete later).
     fn reserve(&mut self, id: NodeId, port: u16) {
-        for u in self.g.uses(id) {
-            if u.src_port == port {
-                *self.reserved.entry((u.dst.0, u.dst_port)).or_insert(0) += 1;
-            }
+        let (start, end) = self.flat.consumer_range(id, port);
+        for i in start..end {
+            let u = self.flat.consumer_at(i);
+            self.reserved[u.dst_flat as usize] += 1;
         }
     }
 
@@ -640,7 +883,7 @@ impl<'a> Executor<'a> {
     /// delivery on the same output port (in-order channels). The caller
     /// reserves consumer space.
     fn emit_ordered(&mut self, id: NodeId, port: u16, value: i64, t: u64) {
-        let h = self.out_horizon.entry((id.0, port)).or_insert(0);
+        let h = &mut self.out_horizon[self.flat.out_id(id, port) as usize];
         let t2 = t.max(*h);
         *h = t2;
         self.push_event(t2, Ev::Deliver { node: id, port, value });
@@ -654,9 +897,11 @@ impl<'a> Executor<'a> {
     /// requests are outstanding on this port, the nullified value queues
     /// behind them and is flushed by [`Self::complete_mem`].
     fn emit_mem_or_defer(&mut self, id: NodeId, port: u16, value: i64) {
-        match self.mem_out.get_mut(&(id.0, port)) {
-            Some(q) if !q.is_empty() => q.push_back(PendingOut::Null(value)),
-            _ => self.emit_ordered(id, port, value, self.now),
+        let q = &mut self.mem_out[self.flat.out_id(id, port) as usize];
+        if q.is_empty() {
+            self.emit_ordered(id, port, value, self.now);
+        } else {
+            q.push_back(PendingOut::Null(value));
         }
     }
 
@@ -664,7 +909,7 @@ impl<'a> Executor<'a> {
     /// LSQ request whose output slot must be filled before any later
     /// nullified value on the same port.
     fn expect_mem_result(&mut self, id: NodeId, port: u16) {
-        self.mem_out.entry((id.0, port)).or_default().push_back(PendingOut::Real);
+        self.mem_out[self.flat.out_id(id, port) as usize].push_back(PendingOut::Real);
     }
 
     /// Delivers a completed memory access's output: fills the oldest
@@ -672,16 +917,12 @@ impl<'a> Executor<'a> {
     /// behind it (the LSQ issues one node's requests in firing order, so
     /// slots complete front-to-back).
     fn complete_mem(&mut self, id: NodeId, port: u16, value: i64, t: u64) {
-        let q = self.mem_out.get_mut(&(id.0, port)).expect("completion without slot");
-        let front = q.pop_front();
+        let idx = self.flat.out_id(id, port) as usize;
+        let front = self.mem_out[idx].pop_front();
         debug_assert!(matches!(front, Some(PendingOut::Real)), "slot order broken");
-        let mut flush = Vec::new();
-        while let Some(&PendingOut::Null(v)) = q.front() {
-            q.pop_front();
-            flush.push(v);
-        }
         self.emit_ordered(id, port, value, t);
-        for v in flush {
+        while let Some(&PendingOut::Null(v)) = self.mem_out[idx].front() {
+            self.mem_out[idx].pop_front();
             self.emit_ordered(id, port, v, self.now);
         }
     }
@@ -703,6 +944,8 @@ impl<'a> Executor<'a> {
             cycles,
             stats: self.machine.stats.clone(),
             fired: self.fired,
+            deferrals: self.deferrals,
+            wall_us: 0, // stamped by the public entry points
             profile,
             trace,
         }
@@ -729,7 +972,7 @@ impl<'a> Executor<'a> {
             for p in 0..nin as u16 {
                 if self.avail(id, p) {
                     have.push(p);
-                    queued |= !self.fifos[id.index()][p as usize].is_empty();
+                    queued |= !self.fifos.is_empty(self.flat.in_id(id, p) as usize);
                 } else {
                     missing.push((p, self.g.kind(id).input_class(p)));
                 }
@@ -764,7 +1007,7 @@ impl<'a> Executor<'a> {
         let mut missing = None;
         for p in 0..nin as u16 {
             if self.avail(id, p) {
-                queued |= !self.fifos[id.index()][p as usize].is_empty();
+                queued |= !self.fifos.is_empty(self.flat.in_id(id, p) as usize);
             } else if missing.is_none() {
                 missing = Some(p);
             }
@@ -842,24 +1085,27 @@ impl<'a> Executor<'a> {
         if self.once_only[id.index()] && self.has_fired[id.index()] {
             return false; // entry-hyperblock op: one execution only
         }
-        let kind = self.g.kind(id).clone();
-        match kind {
+        // Copy the graph reference out of `self` so matching on the node
+        // kind borrows the graph (which outlives this call), not `self` —
+        // no per-firing `NodeKind` clone.
+        let g = self.g;
+        match g.kind(id) {
             NodeKind::Removed
             | NodeKind::Const { .. }
             | NodeKind::Param { .. }
             | NodeKind::Addr { .. }
             | NodeKind::InitialToken => false,
-            NodeKind::BinOp { op, ref ty } => {
+            NodeKind::BinOp { op, ty } => {
                 if !(self.avail(id, 0) && self.avail(id, 1) && self.space_for(id, 0)) {
                     return false;
                 }
                 let a = self.pop_input(id, 0);
                 let b = self.pop_input(id, 1);
                 let v = op.eval(ty, a, b);
-                self.emit_later(id, 0, v, alu_latency(op));
+                self.emit_later(id, 0, v, alu_latency(*op));
                 true
             }
-            NodeKind::UnOp { op, ref ty } => {
+            NodeKind::UnOp { op, ty } => {
                 if !(self.avail(id, 0) && self.space_for(id, 0)) {
                     return false;
                 }
@@ -867,7 +1113,7 @@ impl<'a> Executor<'a> {
                 self.emit_later(id, 0, op.eval(ty, a), 1);
                 true
             }
-            NodeKind::Cast { ref ty } => {
+            NodeKind::Cast { ty } => {
                 if !(self.avail(id, 0) && self.space_for(id, 0)) {
                     return false;
                 }
@@ -875,7 +1121,7 @@ impl<'a> Executor<'a> {
                 self.emit_now(id, 0, ty.normalize(a));
                 true
             }
-            NodeKind::Mux { ref ty } => {
+            NodeKind::Mux { ty } => {
                 let nin = self.g.num_inputs(id);
                 for p in 0..nin {
                     if !self.avail(id, p as u16) {
@@ -949,7 +1195,7 @@ impl<'a> Executor<'a> {
                 true
             }
             NodeKind::TokenGen { .. } => self.fire_tokengen(id),
-            NodeKind::Load { ref ty, .. } => {
+            NodeKind::Load { ty, .. } => {
                 if !(self.avail(id, 0)
                     && self.avail(id, 1)
                     && self.avail(id, 2)
@@ -1011,6 +1257,7 @@ impl<'a> Executor<'a> {
                 true
             }
             NodeKind::Return { has_value, .. } => {
+                let has_value = *has_value;
                 let need = if has_value { 3 } else { 2 };
                 for p in 0..need {
                     if !self.avail(id, p) {
@@ -1049,11 +1296,11 @@ impl<'a> Executor<'a> {
             };
             if pick == 0 {
                 let p = self.pop_input(id, 0);
-                let st = self.tokengen.get_mut(&id).expect("tokengen state");
+                let st = self.tokengen[id.index()].as_mut().expect("tokengen state");
                 st.queue.push_back(p != 0);
             } else {
                 self.pop_input(id, 1);
-                let st = self.tokengen.get_mut(&id).expect("tokengen state");
+                let st = self.tokengen[id.index()].as_mut().expect("tokengen state");
                 st.credits += 1;
             }
             progressed = true;
@@ -1061,7 +1308,7 @@ impl<'a> Executor<'a> {
         // Emit grants in order while credits (or free exit grants) allow
         // and the consumers have space.
         loop {
-            let st = self.tokengen.get_mut(&id).expect("tokengen state");
+            let st = self.tokengen[id.index()].as_mut().expect("tokengen state");
             let Some(&needs_credit) = st.queue.front() else { break };
             if needs_credit && st.credits == 0 {
                 break;
@@ -1069,7 +1316,7 @@ impl<'a> Executor<'a> {
             if !self.space_for(id, 0) {
                 break;
             }
-            let st = self.tokengen.get_mut(&id).expect("tokengen state");
+            let st = self.tokengen[id.index()].as_mut().expect("tokengen state");
             if needs_credit {
                 st.credits -= 1;
             }
@@ -1082,6 +1329,7 @@ impl<'a> Executor<'a> {
 
     /// Issues queued memory requests subject to ports and LSQ size.
     fn lsq_issue(&mut self) {
+        let g = self.g;
         let mut issued = 0;
         while issued < self.config.lsq_ports
             && self.lsq_in_flight < self.config.lsq_size
@@ -1095,20 +1343,20 @@ impl<'a> Executor<'a> {
                     .add_stall(StallCause::LsqPort, self.now.saturating_sub(req.enqueued));
             }
             if req.is_store {
-                let ty = match self.g.kind(req.node) {
-                    NodeKind::Store { ty, .. } => ty.clone(),
+                let ty = match g.kind(req.node) {
+                    NodeKind::Store { ty, .. } => ty,
                     _ => unreachable!("store request from non-store"),
                 };
-                self.machine.store(req.addr, &ty, req.value);
+                self.machine.store(req.addr, ty, req.value);
                 // Token as soon as the store is ordered (§3.2: "the token
                 // can be generated before memory has been updated").
                 self.complete_mem(req.node, 0, 1, self.now + 1);
             } else {
-                let ty = match self.g.kind(req.node) {
-                    NodeKind::Load { ty, .. } => ty.clone(),
+                let ty = match g.kind(req.node) {
+                    NodeKind::Load { ty, .. } => ty,
                     _ => unreachable!("load request from non-load"),
                 };
-                let v = self.machine.load(req.addr, &ty);
+                let v = self.machine.load(req.addr, ty);
                 // Value when the access completes; token once ordered.
                 self.complete_mem(req.node, 0, v, self.now + lat);
                 self.complete_mem(req.node, 1, 1, self.now + 1);

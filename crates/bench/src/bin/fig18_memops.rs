@@ -29,9 +29,14 @@ fn main() {
     let cfg = SimConfig::perfect();
     let mut tot = [0u64; 8];
     let mut stats = Vec::new();
-    for w in workloads::suite() {
+    // The kernels are independent: compile and simulate them across worker
+    // threads (pin with CASH_THREADS), then report in suite order.
+    let rows = cash::par::par_map(workloads::suite(), |w| {
         let (base, rb) = run_compiled(&w, OptLevel::None, &cfg);
         let (full, rf) = run_compiled(&w, OptLevel::Full, &cfg);
+        (w, base, rb, full, rf)
+    });
+    for (w, base, rb, full, rf) in rows {
         stats.push(stats_line("fig18", "perfect", &w, OptLevel::None, &base, &rb));
         stats.push(stats_line("fig18", "perfect", &w, OptLevel::Full, &full, &rf));
         let (l0, s0) = base.static_memory_ops();

@@ -30,26 +30,39 @@ fn main() {
 
     let mut totals = vec![[0u64; 3]; systems.len()];
     let mut stats = Vec::new();
-    for w in workloads::suite() {
-        print!("{:<14}", w.name);
-        for (k, (sys, cfg)) in systems.iter().enumerate() {
+    // One task per kernel (the largest independent unit: every memory
+    // system × level of one kernel shares its source); rows come back in
+    // suite order, so output and stats files are byte-identical to the
+    // serial sweep. Pin worker count with CASH_THREADS.
+    let rows = cash::par::par_map(workloads::suite(), |w| {
+        let mut lines = Vec::new();
+        let mut cycles = Vec::new();
+        for (sys, cfg) in &systems {
             let mut go = |level| {
                 let (p, r) = run_compiled(&w, level, cfg);
-                stats.push(stats_line("fig19", sys, &w, level, &p, &r));
-                r
+                lines.push(stats_line("fig19", sys, &w, level, &p, &r));
+                r.cycles
             };
             let base = go(OptLevel::None);
             let med = go(OptLevel::Medium);
             let full = go(OptLevel::Full);
+            cycles.push([base, med, full]);
+        }
+        (w, lines, cycles)
+    });
+    for (w, lines, cycles) in rows {
+        print!("{:<14}", w.name);
+        stats.extend(lines);
+        for (k, [base, med, full]) in cycles.into_iter().enumerate() {
             print!(
                 " | {:>7} {:>7} {:>6}",
-                speedup(base.cycles, med.cycles).trim(),
-                speedup(base.cycles, full.cycles).trim(),
+                speedup(base, med).trim(),
+                speedup(base, full).trim(),
                 ""
             );
-            totals[k][0] += base.cycles;
-            totals[k][1] += med.cycles;
-            totals[k][2] += full.cycles;
+            totals[k][0] += base;
+            totals[k][1] += med;
+            totals[k][2] += full;
         }
         println!();
     }

@@ -1,0 +1,27 @@
+//! Simulator performance smoke test: two representative kernels timed
+//! end to end, reporting simulated cycles per wall-clock second.
+//!
+//! This is a *smoke* check, not a benchmark: `scripts/check.sh` runs it
+//! after the functional gate so a hot-path regression shows up as a
+//! number in the log, without failing the build (CI boxes vary too much
+//! in speed for a hard threshold). For stable comparisons use
+//! `cargo bench -p cash-bench` instead.
+//!
+//! Run with `cargo run --release -p cash-bench --bin perf_smoke`.
+
+use cash::{OptLevel, SimConfig};
+use cash_bench::harness::run_compiled;
+
+fn main() {
+    // One control-heavy and one memory-heavy kernel, both among the
+    // slowest of the suite per `sim.us`.
+    let picks = ["g721_e", "129.compress"];
+    let cfg = SimConfig::perfect();
+    println!("perf smoke (simulated cycles per second of simulator wall time):");
+    for w in workloads::suite().into_iter().filter(|w| picks.contains(&w.name)) {
+        let (_, r) = run_compiled(&w, OptLevel::Full, &cfg);
+        let us = r.wall_us.max(1);
+        let rate = r.cycles as f64 / (us as f64 / 1e6);
+        println!("  {:<14} {:>9} cycles  {:>7} µs  {:>12.0} cycles/s", w.name, r.cycles, us, rate);
+    }
+}

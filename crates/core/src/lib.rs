@@ -37,6 +37,7 @@ use cfgir::{AliasOracle, Module};
 use pegasus::Graph;
 use std::fmt;
 
+pub mod par;
 pub mod stats;
 
 pub use ashsim::{

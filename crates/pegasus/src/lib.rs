@@ -52,12 +52,14 @@
 
 pub mod build;
 pub mod dot;
+pub mod flat;
 pub mod graph;
 pub mod reduce;
 pub mod verify;
 
 pub use build::{build, BuildError, BuildOptions};
 pub use dot::{to_dot, to_dot_heat, NodeHeat};
+pub use flat::{FlatPorts, FlatUse};
 pub use graph::{Graph, Input, Node, NodeId, NodeKind, Src, Use, VClass};
 pub use reduce::{
     direct_token_deps, expand_token_src, prune_dead, set_token_input, topo_order,

@@ -158,6 +158,24 @@ pub fn diff_program(
     diff_source(&crate::gen::render(prog), args, opts)
 }
 
+/// Checks a whole seed range, fanning the independent programs out across
+/// worker threads (`cash::par`; pin with `CASH_THREADS`). Returns the
+/// lowest-seeded disagreement, so failures are reported exactly as a
+/// serial in-order sweep would report them. Bisection only runs for
+/// failing seeds, which are rare, so the parallel phase is the cheap
+/// common case.
+pub fn diff_seeds(
+    seeds: std::ops::Range<u64>,
+    args_for: fn(u64) -> Vec<i64>,
+    opts: &DiffOptions,
+) -> Option<(u64, DiffOutcome)> {
+    let outcomes = cash::par::par_map(seeds.collect(), |seed| {
+        let prog = crate::gen::gen(seed);
+        (seed, diff_program(&prog, &args_for(seed), opts))
+    });
+    outcomes.into_iter().find(|(_, o)| !matches!(o, DiffOutcome::Agree))
+}
+
 /// Binary-searches the smallest pass-prefix length that disagrees with the
 /// oracle. Returns `None` when even the empty prefix (pure build + simulate)
 /// disagrees.

@@ -31,6 +31,6 @@ pub mod rng;
 pub mod shrink;
 
 pub use gen::{render, GenProgram};
-pub use harness::{diff_program, diff_source, DiffOptions, DiffOutcome, Failure};
+pub use harness::{diff_program, diff_seeds, diff_source, DiffOptions, DiffOutcome, Failure};
 pub use interp::{run_source, InterpError, Outcome};
 pub use rng::Rng;

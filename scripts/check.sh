@@ -21,4 +21,9 @@ cargo fmt --all -- "${FMT_ARGS[@]+"${FMT_ARGS[@]}"}"
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Non-blocking: surface simulator throughput in the log so hot-path
+# regressions are visible at review time without gating on machine speed.
+echo "==> perf smoke (informational)"
+./target/release/perf_smoke || echo "perf smoke failed (non-blocking)"
+
 echo "OK: build, tests, fmt and clippy all clean"

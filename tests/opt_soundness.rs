@@ -11,7 +11,7 @@
 //! The sweep is split into four tests so the harness runs them in parallel.
 
 use cash::{Compiler, OptLevel, SimConfig};
-use refinterp::{diff_program, gen, DiffOptions, DiffOutcome};
+use refinterp::{diff_program, diff_seeds, gen, DiffOptions, DiffOutcome};
 
 /// Arguments for a seed: small, varied, and deterministic.
 fn args_for(seed: u64) -> [i64; 1] {
@@ -19,24 +19,24 @@ fn args_for(seed: u64) -> [i64; 1] {
 }
 
 /// Checks one seed range at every opt level; panics with the bisected pass
-/// and the full program text on any disagreement.
+/// and the full program text on any disagreement. The seeds fan out across
+/// worker threads; the lowest failing seed is reported, exactly as the
+/// serial sweep did.
 fn sweep(seeds: std::ops::Range<u64>) {
     let opts = DiffOptions::default();
-    for seed in seeds {
-        let prog = gen::gen(seed);
-        match diff_program(&prog, &args_for(seed), &opts) {
-            DiffOutcome::Agree => {}
-            DiffOutcome::OracleError(e) => {
-                panic!("seed {seed}: oracle refused an in-domain program: {e}")
-            }
-            DiffOutcome::Fail(f) => panic!(
-                "seed {seed} at {:?}: {}\nfirst offending pass: {:?}\n{}",
-                f.level,
-                f.detail,
-                f.pass,
-                gen::render(&prog)
-            ),
+    match diff_seeds(seeds, |seed| args_for(seed).to_vec(), &opts) {
+        None => {}
+        Some((seed, DiffOutcome::Agree)) => unreachable!("agreements are filtered, seed {seed}"),
+        Some((seed, DiffOutcome::OracleError(e))) => {
+            panic!("seed {seed}: oracle refused an in-domain program: {e}")
         }
+        Some((seed, DiffOutcome::Fail(f))) => panic!(
+            "seed {seed} at {:?}: {}\nfirst offending pass: {:?}\n{}",
+            f.level,
+            f.detail,
+            f.pass,
+            gen::render(&gen::gen(seed))
+        ),
     }
 }
 
