@@ -19,6 +19,7 @@ pub mod pred;
 
 pub use affine::{affine_of, always_equal, may_overlap, Affine};
 pub use loopinfo::{
-    find_activation, find_ivs, find_token_ring, iteration_conflict, Conflict, IndVars, TokenRing,
+    find_activation, find_ivs, find_token_ring, iteration_conflict, Conflict, IndVars, IvSubst,
+    TokenRing,
 };
 pub use pred::PredicateMap;

@@ -191,6 +191,86 @@ pub fn find_ivs(g: &Graph, hb: u32) -> IndVars {
     IndVars { steps }
 }
 
+/// Per-loop substitution context: induction variables with their entry
+/// (initial) values folded in, so that two same-iteration (same-wave)
+/// addresses compare symbolically. Shared by the token-removal pass and
+/// the static race detector, which must agree on what "provably disjoint
+/// in the same wave" means.
+#[derive(Debug, Clone)]
+pub struct IvSubst {
+    ivs: IndVars,
+    entries: HashMap<Src, Affine>,
+}
+
+impl IvSubst {
+    /// Builds the substitution context for loop hyperblock `hb`.
+    pub fn new(g: &Graph, hb: u32) -> Self {
+        let ivs = find_ivs(g, hb);
+        let mut entries = HashMap::new();
+        for &m in ivs.steps.keys() {
+            // Exactly one non-back input -> that is the entry value.
+            let node = m.node;
+            let mut entry = None;
+            let mut count = 0;
+            for p in 0..g.num_inputs(node) as u16 {
+                if let Some(i) = g.input(node, p) {
+                    if !i.back {
+                        count += 1;
+                        // The entry comes through an eta from the preheader;
+                        // look through it for a sharper expression.
+                        let src = if let NodeKind::Eta { .. } = g.kind(i.src.node) {
+                            g.input(i.src.node, 0).map(|x| x.src).unwrap_or(i.src)
+                        } else {
+                            i.src
+                        };
+                        entry = Some(affine_of(g, src));
+                    }
+                }
+            }
+            if count == 1 {
+                if let Some(e) = entry {
+                    entries.insert(m, e);
+                }
+            }
+        }
+        IvSubst { ivs, entries }
+    }
+
+    /// The loop's induction variables.
+    pub fn ivs(&self) -> &IndVars {
+        &self.ivs
+    }
+
+    /// Substitutes IV merges by `entry + step·ITER` (the ITER coefficient is
+    /// the returned pair's second element). Terms that are not known IVs
+    /// pass through unchanged.
+    pub fn substitute(&self, a: &Affine) -> Option<(Affine, i64)> {
+        let mut out = Affine::constant(a.k);
+        let mut iter_coeff: i64 = 0;
+        for (t, c) in &a.terms {
+            let subst = match t {
+                Term::Src(s) => match (self.ivs.steps.get(s), self.entries.get(s)) {
+                    (Some(step), Some(entry)) => {
+                        iter_coeff += c * step;
+                        Some(entry.scale(*c))
+                    }
+                    _ => None,
+                },
+                Term::Base(_) => None,
+            };
+            match subst {
+                Some(e) => out = out.add(&e),
+                None => {
+                    let mut one = Affine::constant(0);
+                    one.terms.insert(*t, *c);
+                    out = out.add(&one);
+                }
+            }
+        }
+        Some((out, iter_coeff))
+    }
+}
+
 /// How two memory accesses in the same loop interact across iterations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Conflict {

@@ -1,0 +1,60 @@
+//! `cashlint`: the static-analysis gate over the whole benchmark suite.
+//!
+//! Lints all 16 workload kernels at every [`OptLevel`] (the lint runs inside
+//! compilation, so this is just a compile sweep reading `report.lint`) and
+//! prints per-rule counts plus total lint wall time. Any diagnostic on a
+//! shipped kernel is a bug in either a pass or a rule, so the process exits
+//! non-zero — `scripts/check.sh` runs this as a hard gate.
+//!
+//! Run with `cargo run --release -p cash-bench --bin cashlint`.
+
+use cash::{LintReport, OptLevel};
+
+fn main() {
+    let mut jobs = Vec::new();
+    for level in OptLevel::ALL {
+        for w in workloads::suite() {
+            jobs.push((w, level));
+        }
+    }
+    let total = jobs.len();
+    let rows: Vec<(&'static str, OptLevel, LintReport)> = cash::par::par_map(jobs, |(w, level)| {
+        let program = w.compile(level).expect("suite kernel compiles");
+        (w.name, level, program.report.lint)
+    });
+
+    let mut agg: Option<Vec<(&'static str, usize)>> = None;
+    let mut lint_us = 0u64;
+    let mut dirty = 0usize;
+    for (name, level, report) in &rows {
+        lint_us += report.micros;
+        let counts = report.rule_counts();
+        match &mut agg {
+            None => agg = Some(counts.to_vec()),
+            Some(a) => {
+                for (slot, (_, n)) in a.iter_mut().zip(counts) {
+                    slot.1 += n;
+                }
+            }
+        }
+        if report.is_clean() {
+            continue;
+        }
+        dirty += 1;
+        println!("DIRTY {name} @ {level}: {} diagnostic(s)", report.diags.len());
+        for d in &report.diags {
+            println!("  {d}");
+        }
+    }
+
+    println!("cashlint: {total} kernel x level combinations, lint wall {lint_us} µs");
+    println!("  per-rule counts:");
+    for (rule, n) in agg.unwrap_or_default() {
+        println!("    {rule:<16} {n}");
+    }
+    if dirty > 0 {
+        println!("FAIL: {dirty} dirty combination(s)");
+        std::process::exit(1);
+    }
+    println!("clean: every kernel at every level");
+}

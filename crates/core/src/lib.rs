@@ -44,7 +44,8 @@ pub use ashsim::{
     diagnose, BlockedNode, CacheParams, Machine, MemStats, MemSystem, NodeProfile, SimConfig,
     SimError, SimProfile, SimResult, StallCause, Trace, TraceEvent,
 };
-pub use opt::{OptConfig, OptLevel, OptReport, PassStat};
+pub use lint::{lint, LintConfig, LintDiag, LintReport, Rule as LintRule};
+pub use opt::{lint_config, OptConfig, OptLevel, OptReport, PassStat};
 pub use pegasus::NodeHeat;
 pub use stats::StatsRecord;
 
@@ -259,6 +260,21 @@ impl Program {
     /// the profile by simulating with [`SimConfig::profile`] set.
     pub fn to_dot_heat(&self, profile: &SimProfile) -> String {
         pegasus::to_dot_heat(&self.graph, &self.entry, &profile.node_heat())
+    }
+
+    /// Graphviz rendering with a lint overlay: diagnosed nodes are
+    /// outlined and labelled with their rule, race pairs are linked —
+    /// mirroring the heat-map overlay. Pass the diagnostics from
+    /// [`OptReport::lint`] (`self.report.lint.diags`) or a fresh
+    /// [`Program::lint`] run.
+    pub fn to_dot_lint(&self, diags: &[LintDiag]) -> String {
+        pegasus::to_dot_lint(&self.graph, &self.entry, &lint::overlay(diags))
+    }
+
+    /// Re-runs the static lint over the compiled circuit.
+    pub fn lint(&self, cfg: &LintConfig) -> Vec<LintDiag> {
+        let oracle = AliasOracle::new(&self.module);
+        lint::lint(&self.graph, &oracle, cfg)
     }
 
     /// Exports a profiled-and-traced run's event stream as Chrome

@@ -31,5 +31,5 @@ pub mod util;
 #[cfg(test)]
 mod testutil;
 
-pub use manager::{optimize, OptConfig, OptLevel, OptReport, PassStat};
+pub use manager::{lint_config, optimize, OptConfig, OptLevel, OptReport, PassStat};
 pub use token_removal::Disambiguation;

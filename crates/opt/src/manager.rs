@@ -45,6 +45,11 @@ pub struct OptConfig {
     pub pipeline: PipelineConfig,
     /// Maximum redundancy-elimination fixpoint rounds.
     pub max_rounds: usize,
+    /// Run the static lint ([`lint::lint`]) on the final graph (always)
+    /// and, under `debug_assertions`, after every pass invocation (hard
+    /// error on any diagnostic — a pass left a plausible-looking but
+    /// broken graph behind).
+    pub lint: bool,
     /// Run only the first `n` pass invocations of the configured pipeline
     /// (`None` = unlimited). The invocation sequence is *exactly* the
     /// prefix of the full pipeline's sequence ([`OptReport::passes`]), so a
@@ -110,6 +115,7 @@ impl OptLevel {
                 loop_invariant: false,
                 pipeline: PipelineConfig::none(),
                 max_rounds: 0,
+                lint: true,
                 pass_limit: None,
                 sabotage: None,
             },
@@ -125,6 +131,7 @@ impl OptLevel {
                 loop_invariant: false,
                 pipeline: PipelineConfig::none(),
                 max_rounds: 1,
+                lint: true,
                 pass_limit: None,
                 sabotage: None,
             },
@@ -140,6 +147,7 @@ impl OptLevel {
                 loop_invariant: false,
                 pipeline: PipelineConfig { read_only: false, monotone: true, decouple: false },
                 max_rounds: 1,
+                lint: true,
                 pass_limit: None,
                 sabotage: None,
             },
@@ -155,6 +163,7 @@ impl OptLevel {
                 loop_invariant: true,
                 pipeline: PipelineConfig::full(),
                 max_rounds: 4,
+                lint: true,
                 pass_limit: None,
                 sabotage: None,
             },
@@ -239,6 +248,9 @@ pub struct OptReport {
     pub static_after: (usize, usize),
     /// Per-invocation telemetry, in the order the passes ran.
     pub passes: Vec<PassStat>,
+    /// The final static lint run ([`OptConfig::lint`]): its diagnostics
+    /// and wall time. Empty when linting is disabled.
+    pub lint: lint::LintReport,
 }
 
 impl OptReport {
@@ -306,7 +318,14 @@ impl OptReport {
             }
             s.push_str(&p.to_json());
         }
-        s.push_str("]}");
+        let _ = write!(s, "],\"lint\":{{\"us\":{},\"rules\":{{", self.lint.micros);
+        for (i, (name, n)) in self.lint.rule_counts().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{n}");
+        }
+        s.push_str("}}}");
         s
     }
 }
@@ -320,21 +339,49 @@ fn reduction(before: usize, after: usize) -> f64 {
 }
 
 /// Scheduling state threaded through one [`optimize`] run: the per-pass
-/// telemetry, the remaining invocation budget ([`OptConfig::pass_limit`])
-/// and the fault-injection armed state ([`OptConfig::sabotage`]).
-struct Ctl {
+/// telemetry, the remaining invocation budget ([`OptConfig::pass_limit`]),
+/// the fault-injection armed state ([`OptConfig::sabotage`]), and what the
+/// per-pass debug lint needs (the alias oracle; whether a fault has fired,
+/// in which case the graph is broken *on purpose* and the hard error is
+/// suppressed so the differential harness gets to observe the fault).
+struct Ctl<'a, 'm> {
     passes: Vec<PassStat>,
     remaining: Option<usize>,
     sabotage: Option<&'static str>,
+    sabotaged: bool,
+    oracle: &'a AliasOracle<'m>,
+    // Only the debug_assertions per-pass lint reads this flag.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    lint: bool,
+}
+
+/// The lint configuration for mid-pipeline graphs: no redundancy check
+/// (a pass may legally leave the token graph unreduced until the next
+/// reduction) and no dead-code check (elimination may simply not have run
+/// yet). [`lint_config`] is the end-of-pipeline variant.
+#[cfg(debug_assertions)]
+fn per_pass_lint_config() -> lint::LintConfig {
+    lint::LintConfig { redundancy: false, dead_code: false, ..lint::LintConfig::default() }
+}
+
+/// The lint configuration matching an optimizer configuration: a pipeline
+/// that never runs dead-code elimination may legally leave provably dead
+/// operations behind, so [`lint::Rule::DeadPred`] only arms with it.
+pub fn lint_config(cfg: &OptConfig) -> lint::LintConfig {
+    lint::LintConfig { dead_code: cfg.dead, ..lint::LintConfig::default() }
 }
 
 /// Times one pass invocation and records its graph-shape delta. When the
 /// invocation budget is exhausted the pass is skipped entirely (no stat is
 /// recorded), so a prefix-limited run performs exactly the first
 /// `pass_limit` invocations of the full pipeline and nothing else.
+///
+/// Under `debug_assertions`, every invocation is followed by the full
+/// structural verifier and the static lint; any finding is a hard error
+/// naming the offending pass.
 fn timed(
     g: &mut Graph,
-    ctl: &mut Ctl,
+    ctl: &mut Ctl<'_, '_>,
     name: &'static str,
     round: Option<usize>,
     f: impl FnOnce(&mut Graph) -> usize,
@@ -349,28 +396,110 @@ fn timed(
     let token_edges = g.count_token_edges();
     let t0 = std::time::Instant::now();
     let rewrites = f(g);
+    let wall_micros = t0.elapsed().as_micros() as u64;
     if ctl.sabotage == Some(name) {
         ctl.sabotage = None;
-        sabotage_rewrite(g);
+        ctl.sabotaged = true;
+        sabotage_rewrite(g, name, ctl.oracle);
     }
     ctl.passes.push(PassStat {
         name,
         round,
-        wall_micros: t0.elapsed().as_micros() as u64,
+        wall_micros,
         rewrites,
         nodes: (nodes, g.live_count()),
         edges: (edges, g.count_edges()),
         token_edges: (token_edges, g.count_token_edges()),
     });
+    #[cfg(debug_assertions)]
+    if ctl.lint && !ctl.sabotaged {
+        let errs = pegasus::verify_all(g);
+        assert!(errs.is_empty(), "pass {name} left a structurally broken graph: {errs:?}");
+        let diags = lint::lint(g, ctl.oracle, &per_pass_lint_config());
+        assert!(
+            diags.is_empty(),
+            "pass {name} left a semantically suspect graph:\n{}",
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+        );
+    }
     rewrites
 }
 
-/// The deliberately wrong rewrite used by [`OptConfig::sabotage`]: flips
-/// the first live integer addition into a subtraction. Structurally valid
-/// (the graph still verifies) but semantically broken for almost any
-/// program that exercises the node — exactly what a real miscompiling pass
-/// looks like to a differential harness.
-fn sabotage_rewrite(g: &mut Graph) {
+/// The deliberately wrong rewrite used by [`OptConfig::sabotage`]. Each
+/// named pass gets a corruption in its own characteristic bug class, so
+/// the detection layers can be exercised separately:
+///
+/// - `"loop_invariant"`: rewires a ring entry past its gating eta (PR 2's
+///   hoisting bug) — a structural deadlock the *static* rate analysis
+///   reports (`ungated_entry`), no simulation needed;
+/// - `"token_removal"`: bypasses a store's token output, dissolving a
+///   live ordering to a may-aliasing operation — reported statically as a
+///   `token_race`;
+/// - anything else (the default, and the harness's pinned `"load_store"`):
+///   flips the first live integer addition into a subtraction —
+///   structurally valid, semantically broken, and deliberately *invisible*
+///   to every static layer, so only differential simulation catches it.
+///
+/// When a graph has no site for the named corruption (e.g. a loop-free
+/// program for `"loop_invariant"`), the default flip is applied instead.
+fn sabotage_rewrite(g: &mut Graph, name: &'static str, oracle: &AliasOracle<'_>) {
+    use pegasus::{NodeKind, Src};
+    match name {
+        "loop_invariant" => {
+            let target = g
+                .live_ids()
+                .filter(|&id| {
+                    matches!(g.kind(id), NodeKind::Merge { .. })
+                        && (0..g.num_inputs(id))
+                            .any(|p| g.input(id, p as u16).is_some_and(|i| i.back))
+                })
+                .find_map(|m| {
+                    (0..g.num_inputs(m)).find_map(|p| {
+                        let i = g.input(m, p as u16)?;
+                        if i.back || !matches!(g.kind(i.src.node), NodeKind::Eta { .. }) {
+                            return None;
+                        }
+                        let steered = g.input(i.src.node, 0)?.src;
+                        if matches!(g.kind(steered.node), NodeKind::Merge { .. })
+                            && g.hb(steered.node) != g.hb(m)
+                        {
+                            Some((m, p as u16, steered))
+                        } else {
+                            None
+                        }
+                    })
+                });
+            match target {
+                Some((m, p, steered)) => g.replace_input(m, p, steered),
+                None => flip_first_add(g),
+            }
+        }
+        "token_removal" => {
+            let mems: Vec<pegasus::NodeId> =
+                g.live_ids().filter(|&id| g.kind(id).is_memory()).collect();
+            let target = mems.iter().copied().find(|&s| {
+                matches!(g.kind(s), NodeKind::Store { .. })
+                    && mems.iter().any(|&t| {
+                        t != s
+                            && oracle.sets_overlap(
+                                g.kind(s).may_set().unwrap(),
+                                g.kind(t).may_set().unwrap(),
+                            )
+                            && pegasus::token_path(g, Src::of(s), t)
+                    })
+            });
+            match target {
+                Some(s) => crate::util::bypass_token(g, s),
+                None => flip_first_add(g),
+            }
+        }
+        _ => flip_first_add(g),
+    }
+}
+
+/// Flips the first live integer addition into a subtraction — exactly what
+/// a real miscompiling pass looks like to a differential harness.
+fn flip_first_add(g: &mut Graph) {
     use cfgir::types::BinOp;
     let target = g.live_ids().find(
         |&id| matches!(g.kind(id), pegasus::NodeKind::BinOp { op: BinOp::Add, ty } if ty.is_int()),
@@ -385,7 +514,14 @@ fn sabotage_rewrite(g: &mut Graph) {
 /// Runs the configured pipeline over `g`.
 pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> OptReport {
     let mut report = OptReport { static_before: g.count_memory_ops(), ..OptReport::default() };
-    let mut ctl = Ctl { passes: Vec::new(), remaining: cfg.pass_limit, sabotage: cfg.sabotage };
+    let mut ctl = Ctl {
+        passes: Vec::new(),
+        remaining: cfg.pass_limit,
+        sabotage: cfg.sabotage,
+        sabotaged: false,
+        oracle,
+        lint: cfg.lint,
+    };
 
     if cfg.scalar {
         report.scalar_rewrites += timed(g, &mut ctl, "scalar", None, simplify);
@@ -475,6 +611,14 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
     });
     report.static_after = g.count_memory_ops();
     report.passes = ctl.passes;
+    // Always-on final lint: even a release pipeline reports what the
+    // static layer thinks of the graph it is about to hand to simulation
+    // (a sabotaged run keeps its findings — that is the point).
+    if cfg.lint {
+        let t0 = std::time::Instant::now();
+        let diags = lint::lint(g, oracle, &lint_config(cfg));
+        report.lint = lint::LintReport { diags, micros: t0.elapsed().as_micros() as u64 };
+    }
     report
 }
 
@@ -666,6 +810,59 @@ mod tests {
         pegasus::verify(&bad).expect("sabotage keeps the graph structurally valid");
         let (got, _, _) = run(&module, &bad, &[2, 10]);
         assert_ne!(got, want, "sabotaged pipeline must miscompile");
+    }
+
+    /// The PR 2 acceptance scenario: re-introduce the `loop_invariant`
+    /// rate bug via fault injection and confirm the *static* rate
+    /// analysis reports it — naming the offending cycle — with no
+    /// simulation anywhere in the loop.
+    #[test]
+    fn sabotaged_hoisting_is_caught_statically() {
+        let src = "
+            int a[8];
+            int main(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < i; j++) { s = s + a[j]; }
+                }
+                return s;
+            }";
+        let (module, g0) = compile(src);
+        let oracle = AliasOracle::new(&module);
+        let mut clean = g0.clone();
+        let report = optimize(&mut clean, &oracle, &OptLevel::Full.config());
+        assert!(report.lint.is_clean(), "clean pipeline must lint clean: {:?}", report.lint);
+        let mut bad = g0.clone();
+        let report =
+            optimize(&mut bad, &oracle, &OptLevel::Full.config().sabotage("loop_invariant"));
+        let hit = report
+            .lint
+            .diags
+            .iter()
+            .find(|d| d.rule == lint::Rule::UngatedEntry)
+            .unwrap_or_else(|| panic!("rate bug must be caught statically: {:?}", report.lint));
+        assert!(!hit.aux.is_empty(), "the offending cycle is named: {hit:?}");
+        assert!(hit.message.contains("ring cycle"), "cycle described: {}", hit.message);
+        assert_eq!(report.lint.rule_counts()[lint::Rule::UngatedEntry as usize].0, "ungated_entry");
+    }
+
+    /// The `token_removal` fault dissolves a live ordering edge; the
+    /// token-race rule must flag the now-unordered aliasing pair.
+    #[test]
+    fn sabotaged_token_removal_is_caught_statically() {
+        let src = "
+            int a[8];
+            void main(int i, int j) { a[i] = 1; a[j] = a[i] + 2; }";
+        let (module, g0) = compile(src);
+        let oracle = AliasOracle::new(&module);
+        let mut bad = g0.clone();
+        let report =
+            optimize(&mut bad, &oracle, &OptLevel::Full.config().sabotage("token_removal"));
+        assert!(
+            report.lint.diags.iter().any(|d| d.rule == lint::Rule::TokenRace),
+            "dissolved ordering must be reported as a race: {:?}",
+            report.lint
+        );
     }
 
     #[test]

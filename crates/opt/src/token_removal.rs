@@ -14,8 +14,8 @@
 //! (Figure 5), after which the graph is re-reduced (§3.4).
 
 use crate::util::{addr_of, bypass_token, mem_ops, size_of};
-use analysis::affine::{affine_of, may_overlap, Affine, Term};
-use analysis::loopinfo::{find_ivs, IndVars};
+use analysis::affine::{affine_of, may_overlap, Term};
+use analysis::loopinfo::IvSubst;
 use cfgir::objects::ObjectKind;
 use cfgir::AliasOracle;
 use pegasus::{direct_token_deps, set_token_input, Graph, NodeId, NodeKind, Src};
@@ -44,80 +44,13 @@ impl Disambiguation {
     }
 }
 
-/// Per-loop substitution context: IVs with their entry (initial) values
-/// folded in, so that two same-iteration addresses compare symbolically.
-struct IvContext {
-    ivs: IndVars,
-    entries: HashMap<Src, Affine>,
-}
-
-fn iv_context(g: &Graph, hb: u32) -> IvContext {
-    let ivs = find_ivs(g, hb);
-    let mut entries = HashMap::new();
-    for &m in ivs.steps.keys() {
-        // Exactly one non-back input -> that is the entry value.
-        let node = m.node;
-        let mut entry = None;
-        let mut count = 0;
-        for p in 0..g.num_inputs(node) as u16 {
-            if let Some(i) = g.input(node, p) {
-                if !i.back {
-                    count += 1;
-                    // The entry comes through an eta from the preheader;
-                    // look through it for a sharper expression.
-                    let src = if let NodeKind::Eta { .. } = g.kind(i.src.node) {
-                        g.input(i.src.node, 0).map(|x| x.src).unwrap_or(i.src)
-                    } else {
-                        i.src
-                    };
-                    entry = Some(affine_of(g, src));
-                }
-            }
-        }
-        if count == 1 {
-            if let Some(e) = entry {
-                entries.insert(m, e);
-            }
-        }
-    }
-    IvContext { ivs, entries }
-}
-
-/// Substitutes IV merges by `entry + step·ITER` (ITER coefficient recorded
-/// in the returned pair's second element).
-fn substitute(a: &Affine, ctx: &IvContext) -> Option<(Affine, i64)> {
-    let mut out = Affine::constant(a.k);
-    let mut iter_coeff: i64 = 0;
-    for (t, c) in &a.terms {
-        let subst = match t {
-            Term::Src(s) => match (ctx.ivs.steps.get(s), ctx.entries.get(s)) {
-                (Some(step), Some(entry)) => {
-                    iter_coeff += c * step;
-                    Some(entry.scale(*c))
-                }
-                _ => None,
-            },
-            Term::Base(_) => None,
-        };
-        match subst {
-            Some(e) => out = out.add(&e),
-            None => {
-                let mut one = Affine::constant(0);
-                one.terms.insert(*t, *c);
-                out = out.add(&one);
-            }
-        }
-    }
-    Some((out, iter_coeff))
-}
-
 /// Are the two accesses provably never at overlapping addresses *in the
 /// same wave of execution*?
 fn provably_disjoint(
     g: &Graph,
     oracle: &AliasOracle<'_>,
     dis: &Disambiguation,
-    iv_ctx: &HashMap<u32, IvContext>,
+    iv_ctx: &HashMap<u32, IvSubst>,
     a: NodeId,
     b: NodeId,
 ) -> bool {
@@ -138,8 +71,7 @@ fn provably_disjoint(
         // Heuristic 2: substitute induction variables by entry + step·i.
         if dis.induction && g.hb(a) == g.hb(b) {
             if let Some(ctx) = iv_ctx.get(&g.hb(a)) {
-                if let (Some((sa, ia)), Some((sb, ib))) =
-                    (substitute(&fa, ctx), substitute(&fb, ctx))
+                if let (Some((sa, ia)), Some((sb, ib))) = (ctx.substitute(&fa), ctx.substitute(&fb))
                 {
                     if ia == ib && !may_overlap(&sa, size_of(g, a), &sb, size_of(g, b)) {
                         return true;
@@ -154,10 +86,32 @@ fn provably_disjoint(
 /// Removes provably unnecessary token edges. Returns the number of direct
 /// dependences dissolved.
 pub fn remove_token_edges(g: &mut Graph, oracle: &AliasOracle<'_>, dis: Disambiguation) -> usize {
-    let mut iv_ctx: HashMap<u32, IvContext> = HashMap::new();
+    let mut iv_ctx: HashMap<u32, IvSubst> = HashMap::new();
     for hb in 0..g.num_hbs {
         if g.hb_is_loop.get(hb as usize).copied().unwrap_or(false) {
-            iv_ctx.insert(hb, iv_context(g, hb));
+            iv_ctx.insert(hb, IvSubst::new(g, hb));
+        }
+    }
+    // Record the orderings the token network must keep: every pair of
+    // conflicting operations (not provably disjoint under the enabled
+    // heuristics) that is ordered now must still be ordered afterwards.
+    // Figure 5's inheritance preserves the closure between an operation
+    // and its *producers*, but dissolving a middle operation can carry
+    // away the only path between two operations that still conflict.
+    let mems = mem_ops(g);
+    let mut must_keep: Vec<(NodeId, NodeId)> = Vec::new();
+    for (i, &a) in mems.iter().enumerate() {
+        for &b in &mems[i + 1..] {
+            let both_loads = matches!(g.kind(a), NodeKind::Load { .. })
+                && matches!(g.kind(b), NodeKind::Load { .. });
+            if both_loads || provably_disjoint(g, oracle, &dis, &iv_ctx, a, b) {
+                continue;
+            }
+            if pegasus::token_path(g, token_out(g, a), b) {
+                must_keep.push((a, b));
+            } else if pegasus::token_path(g, token_out(g, b), a) {
+                must_keep.push((b, a));
+            }
         }
     }
     let mut removed = 0;
@@ -201,8 +155,70 @@ pub fn remove_token_edges(g: &mut Graph, oracle: &AliasOracle<'_>, dis: Disambig
             set_token_input(g, op, kept);
         }
     }
+    // Removing an edge preserves the transitive closure *between memory
+    // operations* — but when every consumer of a memory op's token
+    // dissolves its dependence, the op's completion becomes unobserved: a
+    // later hyperblock could write a location before an orphaned load has
+    // read it, or read one before an orphaned store has written it.
+    // Re-anchor such ops into their hyperblock's outgoing token flow (its
+    // exit steers / the return), which is where the builder's tail
+    // combine would have put them.
+    let orphans: Vec<NodeId> = mem_ops(g)
+        .into_iter()
+        .filter(|&id| {
+            let tok = token_out(g, id);
+            g.uses(id).iter().all(|u| u.src_port != tok.port)
+        })
+        .collect();
+    for op in orphans {
+        anchor_token(g, op);
+    }
+    // Restore any required ordering the dissolutions severed.
+    for (a, b) in must_keep {
+        if pegasus::token_path(g, token_out(g, a), b) {
+            continue;
+        }
+        let port = if matches!(g.kind(b), NodeKind::Load { .. }) { 2u16 } else { 3 };
+        let Some(i) = g.input(b, port) else { continue };
+        let c = g.add_node(NodeKind::Combine, 2, g.hb(b));
+        g.connect(i.src, c, 0);
+        g.connect(token_out(g, a), c, 1);
+        g.replace_input(b, port, Src::of(c));
+    }
     pegasus::transitive_reduce_tokens(g);
     removed
+}
+
+/// The token output of a memory operation.
+fn token_out(g: &Graph, op: NodeId) -> Src {
+    match g.kind(op) {
+        NodeKind::Load { .. } => Src::token_of_load(op),
+        _ => Src::of(op),
+    }
+}
+
+/// Splices `op`'s token output into every token steer (and return) of its
+/// hyperblock, so downstream blocks wait for the operation to complete.
+fn anchor_token(g: &mut Graph, op: NodeId) {
+    use pegasus::VClass;
+    let hb = g.hb(op);
+    let tok = token_out(g, op);
+    let outs: Vec<(NodeId, u16)> = g
+        .live_ids()
+        .filter(|&id| g.hb(id) == hb && id != op)
+        .filter_map(|id| match g.kind(id) {
+            NodeKind::Eta { vc: VClass::Token, .. } => Some((id, 0u16)),
+            NodeKind::Return { .. } => Some((id, 1u16)),
+            _ => None,
+        })
+        .collect();
+    for (dst, port) in outs {
+        let Some(i) = g.input(dst, port) else { continue };
+        let c = g.add_node(NodeKind::Combine, 2, hb);
+        g.connect(i.src, c, 0);
+        g.connect(tok, c, 1);
+        g.replace_input(dst, port, Src::of(c));
+    }
 }
 
 /// §4.2: loads from immutable objects. If the loaded location is statically

@@ -58,11 +58,11 @@ pub mod reduce;
 pub mod verify;
 
 pub use build::{build, BuildError, BuildOptions};
-pub use dot::{to_dot, to_dot_heat, NodeHeat};
+pub use dot::{to_dot, to_dot_heat, to_dot_lint, LintOverlay, NodeHeat};
 pub use flat::{FlatPorts, FlatUse};
 pub use graph::{Graph, Input, Node, NodeId, NodeKind, Src, Use, VClass};
 pub use reduce::{
-    direct_token_deps, expand_token_src, prune_dead, set_token_input, topo_order,
+    direct_token_deps, expand_token_src, prune_dead, set_token_input, token_path, topo_order,
     transitive_reduce_tokens, Reachability,
 };
-pub use verify::{verify, VerifyError};
+pub use verify::{verify, verify_all, VerifyError};

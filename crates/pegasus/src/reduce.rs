@@ -166,6 +166,15 @@ fn token_reaches(g: &Graph, from: Src, to: NodeId, fuel: &mut usize) -> bool {
     false
 }
 
+/// Does a token path (through memory operations and combines only, forward
+/// edges) lead from `from` to `to`? This is the exact reachability notion
+/// the transitive reduction uses, exposed so read-only analyses can mirror
+/// it. Conservatively answers `true` if the traversal budget blows up.
+pub fn token_path(g: &Graph, from: Src, to: NodeId) -> bool {
+    let mut fuel = 10_000;
+    token_reaches(g, from, to, &mut fuel)
+}
+
 /// Re-establishes transitive reduction of the token graph: for every memory
 /// operation, drops direct token dependences that are implied by another
 /// direct dependence, rebuilding the op's token input. Returns how many

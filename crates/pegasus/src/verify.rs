@@ -55,14 +55,31 @@ impl std::error::Error for VerifyError {}
 ///
 /// # Errors
 ///
-/// Returns the first defect found.
+/// Returns the first defect found. Use [`verify_all`] to collect every
+/// defect in one sweep.
 pub fn verify(g: &Graph) -> Result<(), VerifyError> {
+    match verify_all(g).into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Checks all structural invariants of `g`, collecting *every* defect found
+/// (in the same order [`verify`] would encounter them) so callers can report
+/// structural and semantic diagnostics together.
+pub fn verify_all(g: &Graph) -> Vec<VerifyError> {
+    let mut errs = Vec::new();
     for id in g.live_ids() {
         let node = g.node(id);
-        check_arity(id, node.inputs.len(), &node.kind)?;
+        if let Err(e) = check_arity(id, node.inputs.len(), &node.kind) {
+            errs.push(e);
+        }
         for (p, slot) in node.inputs.iter().enumerate() {
             let port = p as u16;
-            let inp = slot.ok_or(VerifyError::DanglingInput { node: id, port })?;
+            let Some(inp) = slot else {
+                errs.push(VerifyError::DanglingInput { node: id, port });
+                continue;
+            };
             let got = g.kind(inp.src.node).output_class(inp.src.port);
             let expected = node.kind.input_class(port);
             let ok = match (&node.kind, expected, got) {
@@ -71,23 +88,28 @@ pub fn verify(g: &Graph) -> Result<(), VerifyError> {
                 (_, e, g2) => e == g2,
             };
             if !ok {
-                return Err(VerifyError::ClassMismatch { node: id, port, expected, got });
+                errs.push(VerifyError::ClassMismatch { node: id, port, expected, got });
             }
             if inp.back && !matches!(node.kind, NodeKind::Merge { .. } | NodeKind::TokenGen { .. })
             {
-                return Err(VerifyError::BadBackEdge { node: id, port });
+                errs.push(VerifyError::BadBackEdge { node: id, port });
             }
         }
         // Use records round-trip.
         for u in g.uses(id) {
             match g.input(u.dst, u.dst_port) {
                 Some(i) if i.src.node == id && i.src.port == u.src_port => {}
-                _ => return Err(VerifyError::BrokenUseRecord { node: id }),
+                _ => {
+                    errs.push(VerifyError::BrokenUseRecord { node: id });
+                    break;
+                }
             }
         }
     }
-    check_forward_acyclic(g)?;
-    Ok(())
+    if let Err(e) = check_forward_acyclic(g) {
+        errs.push(e);
+    }
+    errs
 }
 
 fn check_arity(id: NodeId, n: usize, kind: &NodeKind) -> Result<(), VerifyError> {
@@ -178,6 +200,21 @@ mod tests {
         g.connect(Src::token_of_load(l), r, 1);
         g.connect(Src::of(l), r, 2);
         assert_eq!(verify(&g), Ok(()));
+    }
+
+    #[test]
+    fn verify_all_collects_every_defect() {
+        let mut g = Graph::new();
+        let t = g.add_node(NodeKind::InitialToken, 0, 0);
+        // Defect 1: dangling second operand. Defect 2: token into an ALU.
+        let n = g.add_node(NodeKind::BinOp { op: BinOp::Add, ty: Type::int(32) }, 2, 0);
+        g.connect(Src::of(t), n, 0);
+        let errs = verify_all(&g);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::ClassMismatch { port: 0, .. })));
+        assert!(errs.iter().any(|e| matches!(e, VerifyError::DanglingInput { port: 1, .. })));
+        // `verify` reports exactly the first of them.
+        assert_eq!(verify(&g).unwrap_err(), errs[0]);
     }
 
     #[test]

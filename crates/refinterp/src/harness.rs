@@ -12,7 +12,7 @@
 //! sound.
 
 use crate::interp;
-use cash::{Compiler, MemSystem, SimConfig};
+use cash::{Compiler, MemSystem, Program, SimConfig};
 use opt::{OptConfig, OptLevel};
 
 /// Harness knobs.
@@ -90,6 +90,11 @@ fn run_circuit(
     max_cycles: u64,
 ) -> Result<Observed, String> {
     let program = Compiler::new().config(cfg).compile(src).map_err(|e| format!("compile: {e}"))?;
+    run_compiled(&program, args, max_cycles)
+}
+
+/// Simulates an already-compiled program.
+fn run_compiled(program: &Program, args: &[i64], max_cycles: u64) -> Result<Observed, String> {
     let sim =
         SimConfig { mem: MemSystem::Perfect { latency: 1 }, max_cycles, ..SimConfig::default() };
     let mut machine = program.machine(sim.mem.clone());
@@ -135,7 +140,26 @@ pub fn diff_source(src: &str, args: &[i64], opts: &DiffOptions) -> DiffOutcome {
     };
     for &level in &opts.levels {
         let cfg = level_config(level, opts.sabotage);
-        let observed = run_circuit(src, cfg, args, opts.max_cycles);
+        let observed = match Compiler::new().config(cfg).compile(src) {
+            Ok(program) => {
+                // First line of defense: a circuit the static lint rejects
+                // is broken before a single cycle is simulated. Bisection
+                // is static too — prefix-compile and re-lint.
+                if !program.report.lint.is_clean() {
+                    let diags = &program.report.lint.diags;
+                    let more = diags.len() - 1;
+                    let detail = if more > 0 {
+                        format!("static lint: {} (+{more} more)", diags[0])
+                    } else {
+                        format!("static lint: {}", diags[0])
+                    };
+                    let pass = bisect_static(src, level, opts, &program);
+                    return DiffOutcome::Fail(Failure { level, detail, pass });
+                }
+                run_compiled(&program, args, opts.max_cycles)
+            }
+            Err(e) => Err(format!("compile: {e}")),
+        };
         let detail = match &observed {
             Ok(obs) => match compare(&oracle, obs) {
                 None => continue,
@@ -212,6 +236,41 @@ fn bisect(
     Some(BadPass { invocation: bad, name: stat.name.to_string(), round: stat.round })
 }
 
+/// Static counterpart of [`bisect`]: binary-searches the smallest pass-prefix
+/// length whose compiled graph the lint rejects. Every probe is a
+/// prefix-compile plus the always-on final lint — no cycle is ever simulated.
+/// Returns `None` when the freshly built graph (prefix 0) is already flagged:
+/// the defect predates the optimizer.
+fn bisect_static(
+    src: &str,
+    level: OptLevel,
+    opts: &DiffOptions,
+    full: &Program,
+) -> Option<BadPass> {
+    let total = full.report.passes.len();
+    let dirty = |n: usize| -> bool {
+        let cfg = level_config(level, opts.sabotage).prefix(n);
+        match Compiler::new().config(cfg).compile(src) {
+            Ok(p) => !p.report.lint.is_clean(),
+            Err(_) => true,
+        }
+    };
+    if dirty(0) {
+        return None;
+    }
+    let (mut good, mut bad) = (0usize, total);
+    while bad - good > 1 {
+        let mid = good + (bad - good) / 2;
+        if dirty(mid) {
+            bad = mid;
+        } else {
+            good = mid;
+        }
+    }
+    let stat = &full.report.passes[bad - 1];
+    Some(BadPass { invocation: bad, name: stat.name.to_string(), round: stat.round })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +317,37 @@ mod tests {
         let b =
             run_oracle("int a[4]; int main(int n) { a[0] = 2; return 0; }", &[0], 1000).unwrap();
         assert!(compare(&a, &b).unwrap().contains("memory image"));
+    }
+
+    #[test]
+    fn statically_flagged_sabotage_skips_simulation() {
+        // The loop_invariant sabotage re-creates PR 2's wrong-rate hoisting
+        // bug, which deadlocks a deep loop nest when simulated. The rate lint
+        // flags it at compile time; with max_cycles = 1 any simulation attempt
+        // would error out, so an accurate Fail proves no cycle was simulated.
+        let src = "
+            int a[8];
+            int main(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < i; j++) { s = s + a[j]; }
+                }
+                return s;
+            }";
+        let opts = DiffOptions {
+            sabotage: Some("loop_invariant"),
+            levels: vec![OptLevel::Full],
+            max_cycles: 1,
+            ..DiffOptions::default()
+        };
+        match diff_source(src, &[5], &opts) {
+            DiffOutcome::Fail(f) => {
+                assert!(f.detail.starts_with("static lint:"), "lint-first detail: {}", f.detail);
+                let pass = f.pass.expect("static bisection names the pass");
+                assert_eq!(pass.name, "loop_invariant");
+            }
+            other => panic!("expected a static failure, got {other:?}"),
+        }
     }
 
     #[test]

@@ -12,6 +12,9 @@ fi
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cashlint (static-analysis gate: every kernel at every opt level)"
+./target/release/cashlint
+
 echo "==> cargo test"
 cargo test -q --workspace
 
@@ -26,4 +29,4 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> perf smoke (informational)"
 ./target/release/perf_smoke || echo "perf smoke failed (non-blocking)"
 
-echo "OK: build, tests, fmt and clippy all clean"
+echo "OK: build, cashlint, tests, fmt and clippy all clean"

@@ -154,6 +154,10 @@ fn telemetry_shares_one_json_schema() {
     assert!(line.starts_with("{\"schema\":\"cash-stats-v1\""));
     assert!(line.contains("\"passes\":[{\"pass\":\"scalar\""));
     assert!(line.contains("\"sim\":{\"ret\":6"));
+    // The static lint reports its wall time and per-rule counts in the same
+    // record (all-zero counts on a clean kernel, but the keys are present).
+    assert!(line.contains("\"lint\":{\"us\":"), "lint wall time in the record");
+    assert!(line.contains("\"token_race\":0"), "per-rule lint counts in the record");
     assert!(!line.contains('\n'));
 
     // Pass telemetry adds up and records real deltas.

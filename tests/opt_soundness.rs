@@ -61,6 +61,27 @@ fn generated_programs_agree_with_the_interpreter_q4() {
 }
 
 #[test]
+fn lint_is_silent_on_unsabotaged_generated_programs() {
+    // False-positive soak for the static lint: every clean graph the
+    // generator can produce, at every level, must lint silent. The
+    // differential sweeps above would also trip on a diagnostic (the harness
+    // lints before simulating), but this compile-only pass keeps the
+    // property explicit and cheap to bisect when a rule regresses.
+    let dirty = cash::par::par_map((0..300u64).collect::<Vec<_>>(), |seed| {
+        let src = gen::render(&gen::gen(seed));
+        for level in OptLevel::ALL {
+            let p = Compiler::new().level(level).compile(&src).expect("generated src compiles");
+            if !p.report.lint.is_clean() {
+                return Some(format!("seed {seed} at {level}: {:?}", p.report.lint.diags));
+            }
+        }
+        None
+    });
+    let failures: Vec<String> = dirty.into_iter().flatten().collect();
+    assert!(failures.is_empty(), "lint false positives:\n{}", failures.join("\n"));
+}
+
+#[test]
 fn optimization_never_increases_memory_traffic_on_generated_programs() {
     for seed in 0..30u64 {
         let src = gen::render(&gen::gen(seed));

@@ -1,0 +1,67 @@
+//! Sabotage coverage for the static layer: every `OptConfig::sabotage(pass)`
+//! fault-injection mode, checked against `pegasus::verify_all` + `lint` on
+//! generated programs, **without ever running the simulator**.
+//!
+//! Two modes corrupt a semantic invariant the lint models and must be flagged
+//! on at least one generated program:
+//!
+//! - `loop_invariant` re-creates PR 2's wrong-rate hoisting bug (a merge ring
+//!   entry slot fed at a per-wave rate) — caught by the rate analysis.
+//! - `token_removal` dissolves a live ordering edge between may-aliasing
+//!   memory operations — caught by the token-race analysis.
+//!
+//! Any other mode (e.g. `load_store`) flips the first integer `Add` into a
+//! `Sub`. That graph is *statically invisible by design*: it is structurally
+//! well formed, its tokens, predicates, and rates are untouched, and no
+//! analysis short of re-deriving the program's arithmetic can tell the two
+//! opcodes apart. Those faults are exactly what the differential harness
+//! exists for, and the test below documents that division of labor by
+//! asserting the static layer stays silent on them.
+
+use cash::Compiler;
+use opt::OptLevel;
+use refinterp::gen;
+
+const SEEDS: std::ops::Range<u64> = 0..24;
+
+/// Compiles seed's program with the given sabotage mode at `Full` and
+/// returns `(structural errors, lint diagnostics)`. No simulation runs.
+fn static_verdict(seed: u64, mode: &'static str) -> (usize, usize) {
+    let src = gen::render(&gen::gen(seed));
+    let cfg = OptLevel::Full.config().sabotage(mode);
+    let p = Compiler::new().config(cfg).compile(&src).expect("sabotaged compile succeeds");
+    (pegasus::verify_all(&p.graph).len(), p.report.lint.diags.len())
+}
+
+/// The two semantically visible modes must each be flagged on at least one
+/// generated program — purely statically.
+#[test]
+fn semantic_sabotage_is_statically_visible() {
+    for mode in ["loop_invariant", "token_removal"] {
+        let verdicts = cash::par::par_map(SEEDS.collect::<Vec<_>>(), |s| static_verdict(s, mode));
+        let flagged = verdicts.iter().filter(|&&(v, l)| v + l > 0).count();
+        assert!(
+            flagged > 0,
+            "sabotage({mode}) must be caught by verify_all + lint on at least \
+             one of {} generated programs",
+            SEEDS.end
+        );
+    }
+}
+
+/// The opcode-flip mode is statically invisible (see module docs): the static
+/// layer must stay silent so the differential harness, not the lint, owns
+/// this fault class. If this test ever fails, a lint rule has started
+/// second-guessing arithmetic and is almost certainly unsound elsewhere.
+#[test]
+fn opcode_flip_sabotage_is_statically_invisible() {
+    let verdicts =
+        cash::par::par_map(SEEDS.collect::<Vec<_>>(), |s| static_verdict(s, "load_store"));
+    for (seed, (verify, lint)) in verdicts.into_iter().enumerate() {
+        assert_eq!(
+            (verify, lint),
+            (0, 0),
+            "seed {seed}: an Add->Sub flip must not trip the static layer"
+        );
+    }
+}
