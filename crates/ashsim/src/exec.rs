@@ -13,6 +13,7 @@
 //! delivers values in order, merges pop in global arrival order, and
 //! run-time constants are modeled as always-available *sticky* sources.
 
+use crate::critpath::{self, CritState, CritSummary, EdgeClass, NO_REC};
 use crate::memory::{Machine, MemStats, MemSystem};
 use crate::profile::{kind_label, NodeProfile, SimProfile, StallCause};
 use crate::trace::{Trace, TraceEvent};
@@ -41,6 +42,11 @@ pub struct SimConfig {
     /// Record the event stream for Chrome-trace export
     /// ([`SimResult::trace`]). Substantially more memory than `profile`.
     pub trace: bool,
+    /// Record every firing's last-arriving input and extract the dynamic
+    /// critical path at completion ([`SimResult::crit`]). Adds one flat
+    /// record per firing stage and a slab mirroring the channel FIFOs;
+    /// the uninstrumented path pays only a branch.
+    pub critpath: bool,
 }
 
 impl Default for SimConfig {
@@ -53,6 +59,7 @@ impl Default for SimConfig {
             max_cycles: 200_000_000,
             profile: false,
             trace: false,
+            critpath: false,
         }
     }
 }
@@ -67,6 +74,12 @@ impl SimConfig {
     pub fn with_observability(mut self, profile: bool, trace: bool) -> Self {
         self.profile = profile;
         self.trace = trace;
+        self
+    }
+
+    /// This configuration with critical-path recording enabled.
+    pub fn with_critpath(mut self, critpath: bool) -> Self {
+        self.critpath = critpath;
         self
     }
 }
@@ -95,6 +108,8 @@ pub struct SimResult {
     pub profile: Option<SimProfile>,
     /// Recorded event stream ([`SimConfig::trace`]).
     pub trace: Option<Trace>,
+    /// Aggregated dynamic critical path ([`SimConfig::critpath`]).
+    pub crit: Option<CritSummary>,
 }
 
 impl SimResult {
@@ -103,15 +118,38 @@ impl SimResult {
     /// Per-node profiles and traces are exported separately
     /// ([`SimProfile::to_json`], [`Trace::to_chrome_json`]).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"ret\":{},\"cycles\":{},\"fired\":{},\"deferrals\":{},\"us\":{},\"mem\":{}}}",
+        use std::fmt::Write;
+        let mut s = format!(
+            "{{\"ret\":{},\"cycles\":{},\"fired\":{},\"deferrals\":{},\"us\":{},\"mem\":{}",
             self.ret.map_or("null".to_string(), |v| v.to_string()),
             self.cycles,
             self.fired,
             self.deferrals,
             self.wall_us,
             self.stats.to_json(),
-        )
+        );
+        if let Some(p) = &self.profile {
+            // Stall-cause totals across all nodes, same keys as the
+            // per-node profile's "stalled" object.
+            let mut tot = [0u64; 5];
+            for n in &p.nodes {
+                tot[0] += n.stalled_data;
+                tot[1] += n.stalled_pred;
+                tot[2] += n.stalled_token;
+                tot[3] += n.stalled_lsq;
+                tot[4] += n.stalled_output;
+            }
+            let _ = write!(
+                s,
+                ",\"stalled\":{{\"data\":{},\"pred\":{},\"token\":{},\"lsq\":{},\"out\":{}}}",
+                tot[0], tot[1], tot[2], tot[3], tot[4]
+            );
+        }
+        if let Some(c) = &self.crit {
+            let _ = write!(s, ",\"crit\":{}", c.to_json());
+        }
+        s.push('}');
+        s
     }
 }
 
@@ -126,6 +164,8 @@ pub struct BlockedNode {
     pub node: NodeId,
     /// Short operation label (e.g. `"load"`, `"eta"`).
     pub op: String,
+    /// Hyperblock the node belongs to.
+    pub hb: u32,
     /// Input ports whose value had arrived.
     pub have: Vec<u16>,
     /// Input ports still waiting, with the class each carries.
@@ -135,9 +175,13 @@ pub struct BlockedNode {
 impl fmt::Display for BlockedNode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.missing.is_empty() {
-            return write!(f, "{}({}) ready but blocked on output space", self.node, self.op);
+            return write!(
+                f,
+                "{}({} hb{}) ready but blocked on output space",
+                self.node, self.op, self.hb
+            );
         }
-        write!(f, "{}({}) waiting on", self.node, self.op)?;
+        write!(f, "{}({} hb{}) waiting on", self.node, self.op, self.hb)?;
         for (i, (port, class)) in self.missing.iter().enumerate() {
             let kind = match class {
                 VClass::Data => "data",
@@ -250,9 +294,12 @@ pub fn diagnose(
 #[derive(Debug, Clone, Copy)]
 enum Ev {
     /// Deliver `value` from output `(node, port)` to all its consumers.
-    Deliver { node: NodeId, port: u16, value: i64 },
-    /// An LSQ slot frees up.
-    LsqRelease,
+    /// `fire` is the producing firing's critical-path record (`NO_REC`
+    /// when recording is off).
+    Deliver { node: NodeId, port: u16, value: i64, fire: u32 },
+    /// An LSQ slot frees up (`level`: hierarchy depth the access reached,
+    /// for the memory timeline).
+    LsqRelease { level: u8 },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -263,6 +310,8 @@ struct MemRequest {
     is_store: bool,
     /// Cycle the request entered the LSQ queue (for port-stall profiling).
     enqueued: u64,
+    /// The firing's critical-path record (`NO_REC` when recording is off).
+    fire: u32,
 }
 
 /// One outstanding output slot of a memory node (see `Executor::mem_out`).
@@ -270,8 +319,9 @@ struct MemRequest {
 enum PendingOut {
     /// A queued LSQ request will fill this slot when it issues.
     Real,
-    /// A nullified firing's instant value, blocked behind a `Real` slot.
-    Null(i64),
+    /// A nullified firing's instant value (and its critical-path record),
+    /// blocked behind a `Real` slot.
+    Null(i64, u32),
 }
 
 #[derive(Clone)]
@@ -283,6 +333,12 @@ struct TokenGenState {
     /// can drain — the paper's counter reset plays the same role for its
     /// fully-serialized loop model.
     queue: VecDeque<bool>,
+    /// Last absorbed input's `(arrival, record, class)` for critical-path
+    /// attribution: a grant enabled purely by previously banked credits
+    /// still chains to the most recent absorb instead of becoming a path
+    /// root (an approximation — the credit that paid for the grant may be
+    /// older).
+    last_arrival: Option<(u64, u32, u8)>,
 }
 
 struct Executor<'a> {
@@ -339,6 +395,13 @@ struct Executor<'a> {
     stall_since: Vec<Option<(u64, StallCause)>>,
     /// Recorded event stream, allocated only when `config.trace` is set.
     trace: Option<Vec<TraceEvent>>,
+    /// Is critical-path recording on? Gates every `crit` access.
+    crit_on: bool,
+    /// Critical-path recorder, stored inline so the instrumented hot path
+    /// pays a field offset instead of a pointer chase. Built with zero
+    /// capacity when recording is off, so the uninstrumented executor
+    /// allocates nothing for it.
+    crit: CritState,
 }
 
 /// Orderable wrapper so the overflow heap can hold events (events are not
@@ -404,24 +467,38 @@ impl PortFifos {
         }
     }
 
+    /// Pushes `entry` and returns the flat slot index it landed in, so the
+    /// critical-path recorder can mirror the ring without duplicating its
+    /// head/len state (ring offsets use a conditional subtract, not `%`:
+    /// `cap` is a run-time value, so a modulo here is a hardware divide on
+    /// the hottest path).
     #[inline]
-    fn push_back(&mut self, p: usize, entry: (u64, i64)) {
+    fn push_back(&mut self, p: usize, entry: (u64, i64)) -> usize {
         let len = self.len[p] as usize;
         debug_assert!(len < self.cap, "channel over capacity: reservation discipline broken");
-        let at = p * self.cap + (self.head[p] as usize + len) % self.cap;
+        let mut off = self.head[p] as usize + len;
+        if off >= self.cap {
+            off -= self.cap;
+        }
+        let at = p * self.cap + off;
         self.slots[at] = entry;
         self.len[p] += 1;
+        at
     }
 
+    /// Pops the oldest entry with the flat slot index it came from (see
+    /// [`Self::push_back`]).
     #[inline]
-    fn pop_front(&mut self, p: usize) -> Option<(u64, i64)> {
+    fn pop_front(&mut self, p: usize) -> Option<((u64, i64), usize)> {
         if self.len[p] == 0 {
             return None;
         }
-        let at = p * self.cap + self.head[p] as usize;
-        self.head[p] = ((self.head[p] as usize + 1) % self.cap) as u32;
+        let head = self.head[p] as usize;
+        let at = p * self.cap + head;
+        let next = head + 1;
+        self.head[p] = (if next == self.cap { 0 } else { next }) as u32;
         self.len[p] -= 1;
-        Some(self.slots[at])
+        Some((self.slots[at], at))
     }
 }
 
@@ -641,8 +718,11 @@ impl<'a> Executor<'a> {
         let mut tokengen: Vec<Option<TokenGenState>> = vec![None; n];
         for id in g.live_ids() {
             if let NodeKind::TokenGen { n } = g.kind(id) {
-                tokengen[id.index()] =
-                    Some(TokenGenState { credits: u64::from(*n), queue: VecDeque::new() });
+                tokengen[id.index()] = Some(TokenGenState {
+                    credits: u64::from(*n),
+                    queue: VecDeque::new(),
+                    last_arrival: None,
+                });
             }
         }
         let num_in = flat.num_in_ports();
@@ -660,6 +740,23 @@ impl<'a> Executor<'a> {
                 }
             }
         }
+        // Critical-path recorder, with the per-output-port edge class
+        // precomputed so delivery indexes a table instead of matching on
+        // `NodeKind` (built here, before `flat` moves into the executor).
+        let crit_on = config.critpath;
+        let crit = if crit_on {
+            let mut out_class = vec![EdgeClass::Data as u8; num_out];
+            for id in g.ids() {
+                let k = g.kind(id);
+                for port in 0..k.num_outputs() {
+                    out_class[flat.out_id(id, port) as usize] =
+                        EdgeClass::of_vclass(k.output_class(port)) as u8;
+                }
+            }
+            CritState::new(num_in, config.channel_capacity.max(1), out_class)
+        } else {
+            CritState::new(0, 1, Vec::new())
+        };
         let mut ex = Executor {
             g,
             machine,
@@ -688,13 +785,21 @@ impl<'a> Executor<'a> {
             prof: config.profile.then(|| vec![NodeProfile::default(); n]),
             stall_since: if config.profile { vec![None; n] } else { Vec::new() },
             trace: config.trace.then(Vec::new),
+            crit_on,
+            crit,
         };
-        // Kick off: initial tokens fire at cycle 0; every node with only
-        // sticky inputs is examined once.
+        // Kick off: initial tokens fire at cycle 0 (each is a root of the
+        // last-arrival DAG); every node with only sticky inputs is
+        // examined once.
         for id in g.live_ids() {
             match g.kind(id) {
                 NodeKind::InitialToken => {
-                    ex.push_event(0, Ev::Deliver { node: id, port: 0, value: 1 })
+                    let fire = if ex.crit_on {
+                        ex.crit.push_rec(id.0, NO_REC, EdgeClass::Token, 0)
+                    } else {
+                        NO_REC
+                    };
+                    ex.push_event(0, Ev::Deliver { node: id, port: 0, value: 1, fire })
                 }
                 _ => ex.mark_dirty(id),
             }
@@ -734,9 +839,14 @@ impl<'a> Executor<'a> {
             let due = self.events.take_due(self.now);
             for &(_, _, ev) in &due {
                 match ev {
-                    Ev::Deliver { node, port, value } => self.deliver(node, port, value),
-                    Ev::LsqRelease => {
+                    Ev::Deliver { node, port, value, fire } => {
+                        self.deliver(node, port, value, fire)
+                    }
+                    Ev::LsqRelease { level } => {
                         self.lsq_in_flight -= 1;
+                        if self.crit_on {
+                            self.crit.timeline.release(self.now, level);
+                        }
                         if let Some(tr) = self.trace.as_mut() {
                             tr.push(TraceEvent::Lsq {
                                 cycle: self.now,
@@ -798,9 +908,16 @@ impl<'a> Executor<'a> {
     }
 
     /// Pushes `value` into the FIFO of every consumer of `(node, port)`.
-    fn deliver(&mut self, node: NodeId, port: u16, value: i64) {
+    fn deliver(&mut self, node: NodeId, port: u16, value: i64, fire: u32) {
         self.seq += 1;
         let seq = self.seq;
+        // Edge class once per delivery: a table lookup on the producing
+        // flat output port (precomputed at init, no `NodeKind` match here).
+        let crit_class = if self.crit_on {
+            EdgeClass::from_u8(self.crit.out_class[self.flat.out_id(node, port) as usize])
+        } else {
+            EdgeClass::Data
+        };
         let (start, end) = self.flat.consumer_range(node, port);
         for i in start..end {
             let u = self.flat.consumer_at(i);
@@ -808,7 +925,10 @@ impl<'a> Executor<'a> {
             if *r > 0 {
                 *r -= 1;
             }
-            self.fifos.push_back(u.dst_flat as usize, (seq, value));
+            let at = self.fifos.push_back(u.dst_flat as usize, (seq, value));
+            if self.crit_on {
+                self.crit.channel_push(at, fire, self.now, crit_class);
+            }
             self.mark_dirty(u.dst);
         }
         // The producer may be waiting for space that just got consumed
@@ -835,7 +955,10 @@ impl<'a> Executor<'a> {
         }
         let was_full =
             self.fifos.len(fp) + self.reserved[fp] as usize >= self.config.channel_capacity;
-        let (_, v) = self.fifos.pop_front(fp).expect("pop of available input");
+        let ((_, v), at) = self.fifos.pop_front(fp).expect("pop of available input");
+        if self.crit_on {
+            self.crit.pop_and_offer(at);
+        }
         // Wake the producer only on a full→non-full transition: a producer
         // can be space-blocked on this channel only if it was full, and
         // `space_for` rechecks every consumer when it retries.
@@ -867,26 +990,56 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// The current firing's critical-path record (`NO_REC` when recording
+    /// is off). Call only after all of the firing's pops.
+    #[inline]
+    fn crit_fire_rec(&mut self) -> u32 {
+        if self.crit_on {
+            self.crit.fire_rec(self.now)
+        } else {
+            NO_REC
+        }
+    }
+
+    /// Like [`Self::crit_fire_rec`], for one token-generator grant: a grant
+    /// enabled purely by banked credits (nothing popped this call) chains
+    /// to the generator's most recent absorb, and per-firing state is reset
+    /// so each grant in a burst gets its own record.
+    #[inline]
+    fn crit_grant_rec(&mut self, id: NodeId) -> u32 {
+        if !self.crit_on {
+            return NO_REC;
+        }
+        if self.crit.best().is_none() {
+            if let Some(b) = self.tokengen[id.index()].as_ref().and_then(|st| st.last_arrival) {
+                self.crit.seed_best(b);
+            }
+        }
+        let r = self.crit.fire_rec(self.now);
+        self.crit.begin_fire(id.0);
+        r
+    }
+
     /// Emits synchronously (zero latency): consumers see the value in this
     /// same cycle.
-    fn emit_now(&mut self, id: NodeId, port: u16, value: i64) {
-        self.deliver(id, port, value);
+    fn emit_now(&mut self, id: NodeId, port: u16, value: i64, fire: u32) {
+        self.deliver(id, port, value, fire);
     }
 
     /// Emits after `lat` cycles, reserving consumer space.
-    fn emit_later(&mut self, id: NodeId, port: u16, value: i64, lat: u64) {
+    fn emit_later(&mut self, id: NodeId, port: u16, value: i64, lat: u64, fire: u32) {
         self.reserve(id, port);
-        self.push_event(self.now + lat, Ev::Deliver { node: id, port, value });
+        self.push_event(self.now + lat, Ev::Deliver { node: id, port, value, fire });
     }
 
     /// Schedules a delivery no earlier than any previously scheduled
     /// delivery on the same output port (in-order channels). The caller
     /// reserves consumer space.
-    fn emit_ordered(&mut self, id: NodeId, port: u16, value: i64, t: u64) {
+    fn emit_ordered(&mut self, id: NodeId, port: u16, value: i64, t: u64, fire: u32) {
         let h = &mut self.out_horizon[self.flat.out_id(id, port) as usize];
         let t2 = t.max(*h);
         *h = t2;
-        self.push_event(t2, Ev::Deliver { node: id, port, value });
+        self.push_event(t2, Ev::Deliver { node: id, port, value, fire });
     }
 
     /// Emission path for a *nullified* memory operation's outputs. The
@@ -896,12 +1049,12 @@ impl<'a> Executor<'a> {
     /// firing would already have scheduled its instant value. So when real
     /// requests are outstanding on this port, the nullified value queues
     /// behind them and is flushed by [`Self::complete_mem`].
-    fn emit_mem_or_defer(&mut self, id: NodeId, port: u16, value: i64) {
+    fn emit_mem_or_defer(&mut self, id: NodeId, port: u16, value: i64, fire: u32) {
         let q = &mut self.mem_out[self.flat.out_id(id, port) as usize];
         if q.is_empty() {
-            self.emit_ordered(id, port, value, self.now);
+            self.emit_ordered(id, port, value, self.now, fire);
         } else {
-            q.push_back(PendingOut::Null(value));
+            q.push_back(PendingOut::Null(value, fire));
         }
     }
 
@@ -916,14 +1069,14 @@ impl<'a> Executor<'a> {
     /// outstanding `Real` slot, then flushes nullified values queued
     /// behind it (the LSQ issues one node's requests in firing order, so
     /// slots complete front-to-back).
-    fn complete_mem(&mut self, id: NodeId, port: u16, value: i64, t: u64) {
+    fn complete_mem(&mut self, id: NodeId, port: u16, value: i64, t: u64, fire: u32) {
         let idx = self.flat.out_id(id, port) as usize;
         let front = self.mem_out[idx].pop_front();
         debug_assert!(matches!(front, Some(PendingOut::Real)), "slot order broken");
-        self.emit_ordered(id, port, value, t);
-        while let Some(&PendingOut::Null(v)) = self.mem_out[idx].front() {
+        self.emit_ordered(id, port, value, t, fire);
+        while let Some(&PendingOut::Null(v, f)) = self.mem_out[idx].front() {
             self.mem_out[idx].pop_front();
-            self.emit_ordered(id, port, v, self.now);
+            self.emit_ordered(id, port, v, self.now, f);
         }
     }
 
@@ -939,6 +1092,10 @@ impl<'a> Executor<'a> {
             SimProfile { nodes, cycles }
         });
         let trace = self.trace.take().map(|events| Trace { events });
+        let crit = self.crit_on.then(|| {
+            self.crit.timeline.finish(cycles);
+            critpath::summarize(&self.crit, self.g)
+        });
         SimResult {
             ret,
             cycles,
@@ -948,6 +1105,7 @@ impl<'a> Executor<'a> {
             wall_us: 0, // stamped by the public entry points
             profile,
             trace,
+            crit,
         }
     }
 
@@ -984,7 +1142,13 @@ impl<'a> Executor<'a> {
             // circuit is permanently stuck, so a node waiting next to a
             // forever-valid constant is exactly what to report.
             if (!have.is_empty() && !missing.is_empty()) || (missing.is_empty() && queued) {
-                out.push(BlockedNode { node: id, op: kind_label(self.g.kind(id)), have, missing });
+                out.push(BlockedNode {
+                    node: id,
+                    op: kind_label(self.g.kind(id)),
+                    hb: self.g.hb(id),
+                    have,
+                    missing,
+                });
             }
         }
         out
@@ -1085,6 +1249,9 @@ impl<'a> Executor<'a> {
         if self.once_only[id.index()] && self.has_fired[id.index()] {
             return false; // entry-hyperblock op: one execution only
         }
+        if self.crit_on {
+            self.crit.begin_fire(id.0);
+        }
         // Copy the graph reference out of `self` so matching on the node
         // kind borrows the graph (which outlives this call), not `self` —
         // no per-firing `NodeKind` clone.
@@ -1102,7 +1269,8 @@ impl<'a> Executor<'a> {
                 let a = self.pop_input(id, 0);
                 let b = self.pop_input(id, 1);
                 let v = op.eval(ty, a, b);
-                self.emit_later(id, 0, v, alu_latency(*op));
+                let fr = self.crit_fire_rec();
+                self.emit_later(id, 0, v, alu_latency(*op), fr);
                 true
             }
             NodeKind::UnOp { op, ty } => {
@@ -1110,7 +1278,8 @@ impl<'a> Executor<'a> {
                     return false;
                 }
                 let a = self.pop_input(id, 0);
-                self.emit_later(id, 0, op.eval(ty, a), 1);
+                let fr = self.crit_fire_rec();
+                self.emit_later(id, 0, op.eval(ty, a), 1, fr);
                 true
             }
             NodeKind::Cast { ty } => {
@@ -1118,7 +1287,8 @@ impl<'a> Executor<'a> {
                     return false;
                 }
                 let a = self.pop_input(id, 0);
-                self.emit_now(id, 0, ty.normalize(a));
+                let fr = self.crit_fire_rec();
+                self.emit_now(id, 0, ty.normalize(a), fr);
                 true
             }
             NodeKind::Mux { ty } => {
@@ -1141,7 +1311,8 @@ impl<'a> Executor<'a> {
                         out = ty.normalize(v);
                     }
                 }
-                self.emit_now(id, 0, out);
+                let fr = self.crit_fire_rec();
+                self.emit_now(id, 0, out, fr);
                 true
             }
             NodeKind::Merge { .. } => {
@@ -1161,7 +1332,8 @@ impl<'a> Executor<'a> {
                 match best {
                     Some((_, p)) => {
                         let v = self.pop_input(id, p);
-                        self.emit_now(id, 0, v);
+                        let fr = self.crit_fire_rec();
+                        self.emit_now(id, 0, v, fr);
                         true
                     }
                     None => false,
@@ -1174,7 +1346,8 @@ impl<'a> Executor<'a> {
                 let v = self.pop_input(id, 0);
                 let p = self.pop_input(id, 1);
                 if p != 0 {
-                    self.emit_now(id, 0, v);
+                    let fr = self.crit_fire_rec();
+                    self.emit_now(id, 0, v, fr);
                 }
                 true
             }
@@ -1191,7 +1364,8 @@ impl<'a> Executor<'a> {
                 for p in 0..nin as u16 {
                     self.pop_input(id, p);
                 }
-                self.emit_now(id, 0, 1);
+                let fr = self.crit_fire_rec();
+                self.emit_now(id, 0, 1, fr);
                 true
             }
             NodeKind::TokenGen { .. } => self.fire_tokengen(id),
@@ -1207,13 +1381,14 @@ impl<'a> Executor<'a> {
                 let addr = self.pop_input(id, 0) as u64;
                 let pred = self.pop_input(id, 1);
                 self.pop_input(id, 2); // token
+                let fr = self.crit_fire_rec();
                 self.reserve(id, 0);
                 self.reserve(id, 1);
                 if pred == 0 {
                     // Nullified: arbitrary value, instant token (§3.1) —
                     // but never overtaking earlier in-flight results.
-                    self.emit_mem_or_defer(id, 0, 0);
-                    self.emit_mem_or_defer(id, 1, 1);
+                    self.emit_mem_or_defer(id, 0, 0, fr);
+                    self.emit_mem_or_defer(id, 1, 1, fr);
                 } else {
                     self.expect_mem_result(id, 0);
                     self.expect_mem_result(id, 1);
@@ -1223,6 +1398,7 @@ impl<'a> Executor<'a> {
                         value: 0,
                         is_store: false,
                         enqueued: self.now,
+                        fire: fr,
                     });
                     let _ = ty;
                 }
@@ -1241,9 +1417,10 @@ impl<'a> Executor<'a> {
                 let value = self.pop_input(id, 1);
                 let pred = self.pop_input(id, 2);
                 self.pop_input(id, 3); // token
+                let fr = self.crit_fire_rec();
                 self.reserve(id, 0);
                 if pred == 0 {
-                    self.emit_mem_or_defer(id, 0, 1);
+                    self.emit_mem_or_defer(id, 0, 1, fr);
                 } else {
                     self.expect_mem_result(id, 0);
                     self.lsq_queue.push_back(MemRequest {
@@ -1252,6 +1429,7 @@ impl<'a> Executor<'a> {
                         value,
                         is_store: true,
                         enqueued: self.now,
+                        fire: fr,
                     });
                 }
                 true
@@ -1268,6 +1446,10 @@ impl<'a> Executor<'a> {
                 self.pop_input(id, 1);
                 let v = if has_value { Some(self.pop_input(id, 2)) } else { None };
                 if pred != 0 {
+                    if self.crit_on {
+                        let fr = self.crit.fire_rec(self.now);
+                        self.crit.ret_rec = Some(fr);
+                    }
                     self.result = Some((if has_value { v } else { None }, self.now));
                 }
                 true
@@ -1305,6 +1487,15 @@ impl<'a> Executor<'a> {
             }
             progressed = true;
         }
+        // Remember the newest absorb so credit-banked grants in later
+        // calls still chain into the path instead of becoming roots.
+        if self.crit_on {
+            if let Some(b) = self.crit.best() {
+                if let Some(st) = self.tokengen[id.index()].as_mut() {
+                    st.last_arrival = Some(b);
+                }
+            }
+        }
         // Emit grants in order while credits (or free exit grants) allow
         // and the consumers have space.
         loop {
@@ -1321,7 +1512,8 @@ impl<'a> Executor<'a> {
                 st.credits -= 1;
             }
             st.queue.pop_front();
-            self.emit_now(id, 0, 1);
+            let fr = self.crit_grant_rec(id);
+            self.emit_now(id, 0, 1, fr);
             progressed = true;
         }
         progressed
@@ -1336,11 +1528,37 @@ impl<'a> Executor<'a> {
             && !self.lsq_queue.is_empty()
         {
             let req = self.lsq_queue.pop_front().expect("nonempty queue");
+            let snap = (
+                self.machine.stats.l1_misses,
+                self.machine.stats.l2_misses,
+                self.machine.stats.tlb_misses,
+            );
             let lat = self.machine.access_cycles(req.addr, req.is_store);
+            // Where in the hierarchy did the access land? Recovered from
+            // the stats delta: 0 = L1 (or perfect memory), 1 = L2,
+            // 2 = DRAM. A TLB miss counts as a miss at its level.
+            let missed =
+                self.machine.stats.l1_misses != snap.0 || self.machine.stats.tlb_misses != snap.2;
+            let level: u8 = if self.machine.stats.l1_misses == snap.0 {
+                0
+            } else if self.machine.stats.l2_misses == snap.1 {
+                1
+            } else {
+                2
+            };
             if let Some(prof) = self.prof.as_mut() {
                 // Port contention: cycles the request sat queued.
                 prof[req.node.index()]
                     .add_stall(StallCause::LsqPort, self.now.saturating_sub(req.enqueued));
+            }
+            // An LSQ-order self-edge when the request sat queued behind
+            // ports/occupancy: the wait is the LSQ's fault, not the input's.
+            let mut fire = req.fire;
+            if self.crit_on {
+                self.crit.timeline.issue(self.now, level);
+                if self.now > req.enqueued {
+                    fire = self.crit.push_rec(req.node.0, fire, EdgeClass::LsqOrder, self.now);
+                }
             }
             if req.is_store {
                 let ty = match g.kind(req.node) {
@@ -1349,20 +1567,37 @@ impl<'a> Executor<'a> {
                 };
                 self.machine.store(req.addr, ty, req.value);
                 // Token as soon as the store is ordered (§3.2: "the token
-                // can be generated before memory has been updated").
-                self.complete_mem(req.node, 0, 1, self.now + 1);
+                // can be generated before memory has been updated"). The
+                // store's memory latency is deliberately absent from the
+                // path: nothing downstream waits on the write completing.
+                let ft = if self.crit_on {
+                    self.crit.push_rec(req.node.0, fire, EdgeClass::Token, self.now + 1)
+                } else {
+                    fire
+                };
+                self.complete_mem(req.node, 0, 1, self.now + 1, ft);
             } else {
                 let ty = match g.kind(req.node) {
                     NodeKind::Load { ty, .. } => ty,
                     _ => unreachable!("load request from non-load"),
                 };
                 let v = self.machine.load(req.addr, ty);
-                // Value when the access completes; token once ordered.
-                self.complete_mem(req.node, 0, v, self.now + lat);
-                self.complete_mem(req.node, 1, 1, self.now + 1);
+                // Value when the access completes (a memory-latency
+                // self-edge, split hit vs. miss); token once ordered.
+                let (fv, ft) = if self.crit_on {
+                    let cls = if missed { EdgeClass::CacheMiss } else { EdgeClass::MemLat };
+                    (
+                        self.crit.push_rec(req.node.0, fire, cls, self.now + lat),
+                        self.crit.push_rec(req.node.0, fire, EdgeClass::Token, self.now + 1),
+                    )
+                } else {
+                    (fire, fire)
+                };
+                self.complete_mem(req.node, 0, v, self.now + lat, fv);
+                self.complete_mem(req.node, 1, 1, self.now + 1, ft);
             }
             self.lsq_in_flight += 1;
-            self.push_event(self.now + lat, Ev::LsqRelease);
+            self.push_event(self.now + lat, Ev::LsqRelease { level });
             if let Some(tr) = self.trace.as_mut() {
                 tr.push(TraceEvent::Mem {
                     node: req.node,

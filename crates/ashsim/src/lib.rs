@@ -39,14 +39,16 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod critpath;
 pub mod exec;
 pub mod memory;
 pub mod profile;
 pub mod trace;
 
+pub use critpath::{CritEdge, CritSummary, EdgeClass};
 pub use exec::{diagnose, simulate, BlockedNode, SimConfig, SimError, SimResult};
-pub use memory::{CacheParams, Machine, MemStats, MemSystem};
-pub use profile::{NodeProfile, SimProfile, StallCause};
+pub use memory::{CacheParams, Machine, MemStats, MemSystem, MemTimeline};
+pub use profile::{kind_label, NodeProfile, SimProfile, StallCause};
 pub use trace::{Trace, TraceEvent};
 
 #[cfg(test)]

@@ -106,6 +106,107 @@ impl MemStats {
     }
 }
 
+/// Memory-system occupancy timeline of one simulation, collected when
+/// [`SimConfig::critpath`](crate::SimConfig) is set: how full the LSQ ran
+/// (high-water mark plus a cycle-weighted occupancy histogram) and how
+/// many accesses were outstanding at each level of the hierarchy. Level 0
+/// is an L1 hit (or any perfect-memory access), level 1 an access served
+/// by L2, level 2 one that went to DRAM.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemTimeline {
+    /// Most memory operations simultaneously in flight in the LSQ.
+    pub lsq_high_water: u32,
+    /// `occupancy_cycles[k]` = cycles spent with exactly `k` operations in
+    /// flight (index 0 counts idle cycles).
+    pub occupancy_cycles: Vec<u64>,
+    /// Per level: most accesses of that depth simultaneously outstanding.
+    pub level_high_water: [u32; 3],
+    /// Per level: cycles spent with exactly `k` such accesses outstanding.
+    pub level_outstanding_cycles: [Vec<u64>; 3],
+    cur_lsq: u32,
+    cur_level: [u32; 3],
+    last_cycle: u64,
+}
+
+fn bump(hist: &mut Vec<u64>, idx: usize, cycles: u64) {
+    if hist.len() <= idx {
+        hist.resize(idx + 1, 0);
+    }
+    hist[idx] += cycles;
+}
+
+impl MemTimeline {
+    /// Accumulates the histogram up to `now` at the current occupancy.
+    fn advance(&mut self, now: u64) {
+        let dt = now.saturating_sub(self.last_cycle);
+        if dt > 0 {
+            bump(&mut self.occupancy_cycles, self.cur_lsq as usize, dt);
+            for l in 0..3 {
+                bump(&mut self.level_outstanding_cycles[l], self.cur_level[l] as usize, dt);
+            }
+            self.last_cycle = now;
+        }
+    }
+
+    /// An access of depth `level` issued at `now`.
+    pub(crate) fn issue(&mut self, now: u64, level: u8) {
+        self.advance(now);
+        self.cur_lsq += 1;
+        self.lsq_high_water = self.lsq_high_water.max(self.cur_lsq);
+        let l = level as usize;
+        self.cur_level[l] += 1;
+        self.level_high_water[l] = self.level_high_water[l].max(self.cur_level[l]);
+    }
+
+    /// The access's LSQ slot freed at `now`.
+    pub(crate) fn release(&mut self, now: u64, level: u8) {
+        self.advance(now);
+        self.cur_lsq = self.cur_lsq.saturating_sub(1);
+        let l = level as usize;
+        self.cur_level[l] = self.cur_level[l].saturating_sub(1);
+    }
+
+    /// Closes the timeline at the completion cycle.
+    pub(crate) fn finish(&mut self, now: u64) {
+        self.advance(now);
+    }
+
+    /// Serializes in the shared `cash-stats-v1` JSON dialect (stable key
+    /// order, no whitespace).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let hist = |h: &[u64]| {
+            let mut s = String::from("[");
+            for (i, v) in h.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{v}");
+            }
+            s.push(']');
+            s
+        };
+        let mut s = format!(
+            "{{\"lsq_high_water\":{},\"occupancy\":{},\"levels\":{{",
+            self.lsq_high_water,
+            hist(&self.occupancy_cycles),
+        );
+        for (l, name) in ["l1", "l2", "dram"].iter().enumerate() {
+            if l > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\"{name}\":{{\"high_water\":{},\"outstanding\":{}}}",
+                self.level_high_water[l],
+                hist(&self.level_outstanding_cycles[l]),
+            );
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
 /// One set-associative cache level with LRU replacement (timing only).
 #[derive(Debug, Clone)]
 struct Cache {
@@ -334,6 +435,35 @@ mod tests {
         m.add_object(MemObject::global("a", Type::int(32), 4).with_init(vec![1, 2, 3, 4]));
         m.add_object(MemObject::global("b", Type::int(8), 3));
         m
+    }
+
+    #[test]
+    fn mem_timeline_histograms_are_cycle_exact() {
+        let mut t = MemTimeline::default();
+        // Two overlapping L1 accesses, one DRAM access later:
+        //   cycle 0..2: one in flight; 2..5: two; 5..8: one; 8..10: idle;
+        //   10..14: one DRAM access; closed at 14.
+        t.issue(0, 0);
+        t.issue(2, 0);
+        t.release(5, 0);
+        t.release(8, 0);
+        t.issue(10, 2);
+        t.release(14, 2);
+        t.finish(14);
+        assert_eq!(t.lsq_high_water, 2);
+        assert_eq!(t.occupancy_cycles, vec![2, 9, 3]);
+        assert_eq!(t.occupancy_cycles.iter().sum::<u64>(), 14, "every cycle lands in a bucket");
+        assert_eq!(t.level_high_water, [2, 0, 1]);
+        assert_eq!(t.level_outstanding_cycles[0], vec![6, 5, 3]);
+        assert_eq!(t.level_outstanding_cycles[2], vec![10, 4]);
+        let json = t.to_json();
+        assert_eq!(
+            json,
+            "{\"lsq_high_water\":2,\"occupancy\":[2,9,3],\"levels\":{\
+             \"l1\":{\"high_water\":2,\"outstanding\":[6,5,3]},\
+             \"l2\":{\"high_water\":0,\"outstanding\":[14]},\
+             \"dram\":{\"high_water\":1,\"outstanding\":[10,4]}}}"
+        );
     }
 
     #[test]

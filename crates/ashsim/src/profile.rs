@@ -167,7 +167,7 @@ impl SimProfile {
 }
 
 /// A short, JSON-safe operation label shared by the profile and the trace.
-pub(crate) fn kind_label(kind: &NodeKind) -> String {
+pub fn kind_label(kind: &NodeKind) -> String {
     match kind {
         NodeKind::Const { value, .. } => format!("const {value}"),
         NodeKind::Param { index, .. } => format!("arg{index}"),

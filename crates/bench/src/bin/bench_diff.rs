@@ -1,0 +1,57 @@
+//! Diffs two `BENCH_*.json` telemetry files on `sim.cycles` with a
+//! percentage threshold; exits non-zero when any row regressed past it.
+//!
+//! ```text
+//! cargo run -p cash-bench --bin bench_diff -- OLD.json NEW.json [--threshold PCT]
+//! ```
+
+use cash_bench::diff::diff;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut threshold = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold needs a number"));
+            }
+            "--help" | "-h" => usage(""),
+            a => files.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        usage("expected exactly two files");
+    }
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let old_text = read(&files[0]);
+    let new_text = read(&files[1]);
+    let rep = diff(&old_text, &new_text, threshold);
+    print!("{}", rep.render(threshold));
+    if rep.compared == 0 {
+        eprintln!("bench_diff: no comparable rows — wrong files?");
+        std::process::exit(2);
+    }
+    if rep.failed() {
+        std::process::exit(1);
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("bench_diff: {err}");
+    }
+    eprintln!("usage: bench_diff OLD.json NEW.json [--threshold PCT]");
+    std::process::exit(2);
+}

@@ -26,7 +26,7 @@ fn main() {
         "dyn-st"
     );
     rule(110);
-    let cfg = SimConfig::perfect();
+    let cfg = SimConfig::perfect().with_observability(true, false).with_critpath(true);
     let mut tot = [0u64; 8];
     let mut stats = Vec::new();
     // The kernels are independent: compile and simulate them across worker

@@ -1,0 +1,225 @@
+//! Diffing two `BENCH_*.json` telemetry files (`bench_diff` bin): the
+//! perf trajectory machine-checked instead of eyeballed.
+//!
+//! Each file is one `cash-stats-v1` record per line (see
+//! [`crate::harness::write_stats`]). Rows are keyed by
+//! `bench/kernel/level/system` and compared on `sim.cycles`; a row whose
+//! cycle count grew by at least the threshold is a *regression*, one that
+//! shrank by at least the threshold an *improvement*. Keys present on only
+//! one side are reported but never fail the diff (benchmarks come and go).
+//!
+//! The parser is a hand-rolled scanner over our own serializer's output —
+//! fixed key order, no whitespace, no string escapes in the keyed fields —
+//! not a general JSON reader (the container vendors no serde).
+
+use std::collections::HashMap;
+use std::fmt::Write;
+
+/// One comparable row extracted from a stats line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// `bench/kernel/level/system`.
+    pub key: String,
+    /// `sim.cycles`.
+    pub cycles: u64,
+}
+
+/// One row whose cycle count moved past the threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    pub key: String,
+    pub old: u64,
+    pub new: u64,
+    /// Signed percentage change ((new - old) / old * 100).
+    pub pct: f64,
+}
+
+/// The outcome of diffing two telemetry files.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    /// Rows slower by at least the threshold — these fail the diff.
+    pub regressions: Vec<Delta>,
+    /// Rows faster by at least the threshold — informational.
+    pub improvements: Vec<Delta>,
+    /// Keys only in the new file.
+    pub added: Vec<String>,
+    /// Keys only in the old file.
+    pub removed: Vec<String>,
+    /// Rows compared (keys present on both sides).
+    pub compared: usize,
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn sim_cycles(line: &str) -> Option<u64> {
+    let sim = &line[line.find("\"sim\":{")?..];
+    let i = sim.find("\"cycles\":")? + "\"cycles\":".len();
+    let end = sim[i..].find(|c: char| !c.is_ascii_digit())? + i;
+    sim[i..end].parse().ok()
+}
+
+/// Extracts the comparable rows of one telemetry file, in file order.
+/// Lines that don't look like stats records are skipped.
+pub fn parse(text: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let (Some(bench), Some(kernel), Some(level), Some(system), Some(cycles)) = (
+            field_str(line, "bench"),
+            field_str(line, "kernel"),
+            field_str(line, "level"),
+            field_str(line, "system"),
+            sim_cycles(line),
+        ) else {
+            continue;
+        };
+        rows.push(Row { key: format!("{bench}/{kernel}/{level}/{system}"), cycles });
+    }
+    rows
+}
+
+/// Diffs two telemetry files at a ± `threshold_pct` percent threshold on
+/// `sim.cycles`.
+pub fn diff(old_text: &str, new_text: &str, threshold_pct: f64) -> DiffReport {
+    let old_rows = parse(old_text);
+    let new_rows = parse(new_text);
+    let old_by_key: HashMap<&str, u64> =
+        old_rows.iter().map(|r| (r.key.as_str(), r.cycles)).collect();
+    let new_keys: HashMap<&str, ()> = new_rows.iter().map(|r| (r.key.as_str(), ())).collect();
+
+    let mut rep = DiffReport::default();
+    for r in &new_rows {
+        let Some(&old) = old_by_key.get(r.key.as_str()) else {
+            rep.added.push(r.key.clone());
+            continue;
+        };
+        rep.compared += 1;
+        let pct = if old == 0 {
+            if r.cycles == 0 {
+                0.0
+            } else {
+                100.0
+            }
+        } else {
+            100.0 * (r.cycles as f64 - old as f64) / old as f64
+        };
+        let d = Delta { key: r.key.clone(), old, new: r.cycles, pct };
+        if pct >= threshold_pct {
+            rep.regressions.push(d);
+        } else if -pct >= threshold_pct {
+            rep.improvements.push(d);
+        }
+    }
+    for r in &old_rows {
+        if !new_keys.contains_key(r.key.as_str()) {
+            rep.removed.push(r.key.clone());
+        }
+    }
+    // Worst offenders first.
+    rep.regressions.sort_by(|a, b| b.pct.total_cmp(&a.pct));
+    rep.improvements.sort_by(|a, b| a.pct.total_cmp(&b.pct));
+    rep
+}
+
+impl DiffReport {
+    /// Whether the diff should fail (any regression past the threshold).
+    pub fn failed(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+
+    /// Human-readable rendering.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        let mut s = String::new();
+        let _ =
+            writeln!(s, "bench_diff: {} rows compared, threshold ±{threshold_pct}%", self.compared);
+        for d in &self.regressions {
+            let _ = writeln!(
+                s,
+                "  REGRESSION {:<40} {:>10} -> {:>10} cycles ({:+.1}%)",
+                d.key, d.old, d.new, d.pct
+            );
+        }
+        for d in &self.improvements {
+            let _ = writeln!(
+                s,
+                "  improved   {:<40} {:>10} -> {:>10} cycles ({:+.1}%)",
+                d.key, d.old, d.new, d.pct
+            );
+        }
+        for k in &self.added {
+            let _ = writeln!(s, "  added      {k}");
+        }
+        for k in &self.removed {
+            let _ = writeln!(s, "  removed    {k}");
+        }
+        if !self.failed() {
+            let _ = writeln!(s, "  ok: no regressions past the threshold");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(kernel: &str, cycles: u64) -> String {
+        format!(
+            "{{\"schema\":\"cash-stats-v1\",\"bench\":\"fig19\",\"kernel\":\"{kernel}\",\
+             \"level\":\"Full\",\"system\":\"perfect\",\"opt\":{{}},\
+             \"sim\":{{\"ret\":1,\"cycles\":{cycles},\"fired\":9}}}}"
+        )
+    }
+
+    #[test]
+    fn parse_extracts_key_and_cycles() {
+        let rows = parse(&format!("{}\nnot json\n{}\n", line("a", 100), line("b", 250)));
+        assert_eq!(
+            rows,
+            vec![
+                Row { key: "fig19/a/Full/perfect".into(), cycles: 100 },
+                Row { key: "fig19/b/Full/perfect".into(), cycles: 250 },
+            ]
+        );
+    }
+
+    #[test]
+    fn injected_regression_past_threshold_fails_the_diff() {
+        let old = format!("{}\n{}\n", line("a", 1000), line("b", 1000));
+        // a: +15% — a regression at the 10% threshold; b: unchanged.
+        let new = format!("{}\n{}\n", line("a", 1150), line("b", 1000));
+        let rep = diff(&old, &new, 10.0);
+        assert!(rep.failed(), "{rep:?}");
+        assert_eq!(rep.regressions.len(), 1);
+        assert_eq!(rep.regressions[0].key, "fig19/a/Full/perfect");
+        assert!((rep.regressions[0].pct - 15.0).abs() < 1e-9);
+        assert_eq!(rep.compared, 2);
+    }
+
+    #[test]
+    fn small_drift_and_improvements_pass() {
+        let old = format!("{}\n{}\n", line("a", 1000), line("b", 1000));
+        // a: +5% (under threshold), b: -30% (an improvement).
+        let new = format!("{}\n{}\n", line("a", 1050), line("b", 700));
+        let rep = diff(&old, &new, 10.0);
+        assert!(!rep.failed(), "{rep:?}");
+        assert_eq!(rep.improvements.len(), 1);
+        assert_eq!(rep.improvements[0].key, "fig19/b/Full/perfect");
+        assert!(rep.render(10.0).contains("ok: no regressions"));
+    }
+
+    #[test]
+    fn added_and_removed_keys_never_fail() {
+        let old = line("gone", 500);
+        let new = line("fresh", 9999);
+        let rep = diff(&old, &new, 10.0);
+        assert!(!rep.failed());
+        assert_eq!(rep.added, vec!["fig19/fresh/Full/perfect".to_string()]);
+        assert_eq!(rep.removed, vec!["fig19/gone/Full/perfect".to_string()]);
+        assert_eq!(rep.compared, 0);
+    }
+}

@@ -5,13 +5,20 @@ use workloads::Workload;
 
 /// The memory systems of the Figure 19 sweep: perfect memory plus the
 /// realistic hierarchy at 1, 2 and 4 LSQ ports (the bandwidth axis).
+/// Profiling and critical-path recording are on so every stats line
+/// carries the `stalled` and `crit` sections (tracing stays off — the
+/// event streams would dwarf the numbers).
 pub fn memory_systems() -> Vec<(&'static str, SimConfig)> {
     let real = || MemSystem::Hierarchy(CacheParams::default());
+    let obs = |cfg: SimConfig| cfg.with_observability(true, false).with_critpath(true);
     vec![
-        ("perfect", SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() }),
-        ("cache-1p", SimConfig { mem: real(), lsq_ports: 1, ..SimConfig::default() }),
-        ("cache-2p", SimConfig { mem: real(), lsq_ports: 2, ..SimConfig::default() }),
-        ("cache-4p", SimConfig { mem: real(), lsq_ports: 4, ..SimConfig::default() }),
+        (
+            "perfect",
+            obs(SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() }),
+        ),
+        ("cache-1p", obs(SimConfig { mem: real(), lsq_ports: 1, ..SimConfig::default() })),
+        ("cache-2p", obs(SimConfig { mem: real(), lsq_ports: 2, ..SimConfig::default() })),
+        ("cache-4p", obs(SimConfig { mem: real(), lsq_ports: 4, ..SimConfig::default() })),
     ]
 }
 

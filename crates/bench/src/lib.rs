@@ -2,5 +2,6 @@
 //! regeneration and `benches/` for wall-clock microbenchmarks built on
 //! the self-contained [`microbench`] harness.
 
+pub mod diff;
 pub mod harness;
 pub mod microbench;

@@ -41,8 +41,9 @@ pub mod par;
 pub mod stats;
 
 pub use ashsim::{
-    diagnose, BlockedNode, CacheParams, Machine, MemStats, MemSystem, NodeProfile, SimConfig,
-    SimError, SimProfile, SimResult, StallCause, Trace, TraceEvent,
+    diagnose, kind_label, BlockedNode, CacheParams, CritEdge, CritSummary, EdgeClass, Machine,
+    MemStats, MemSystem, MemTimeline, NodeProfile, SimConfig, SimError, SimProfile, SimResult,
+    StallCause, Trace, TraceEvent,
 };
 pub use lint::{lint, LintConfig, LintDiag, LintReport, Rule as LintRule};
 pub use opt::{lint_config, OptConfig, OptLevel, OptReport, PassStat};
@@ -269,6 +270,28 @@ impl Program {
     /// [`Program::lint`] run.
     pub fn to_dot_lint(&self, diags: &[LintDiag]) -> String {
         pegasus::to_dot_lint(&self.graph, &self.entry, &lint::overlay(diags))
+    }
+
+    /// Graphviz rendering with the dynamic critical path overlaid: nodes
+    /// the path visits are filled orange by visit count, critical edges
+    /// are bold and labelled with their attributed cycles. Collect the
+    /// summary by simulating with [`SimConfig::critpath`] set.
+    pub fn to_dot_crit(&self, crit: &CritSummary) -> String {
+        let mut overlay =
+            pegasus::CritOverlay { node_counts: crit.node_counts.clone(), edges: Vec::new() };
+        // Merge the per-class edge aggregation down to (src, dst) pairs;
+        // self-edges (memory latency, LSQ order, backpressure) are node
+        // properties, already visible through the fill.
+        for e in &crit.edges {
+            if e.src == e.dst {
+                continue;
+            }
+            match overlay.edges.iter_mut().find(|(s, d, _)| *s == e.src && *d == e.dst) {
+                Some((_, _, cy)) => *cy += e.cycles,
+                None => overlay.edges.push((e.src, e.dst, e.cycles)),
+            }
+        }
+        pegasus::to_dot_crit(&self.graph, &self.entry, &overlay)
     }
 
     /// Re-runs the static lint over the compiled circuit.

@@ -85,6 +85,57 @@ pub fn to_dot_lint(g: &Graph, title: &str, overlay: &LintOverlay) -> String {
     s
 }
 
+/// Critical-path measurements for the [`to_dot_crit`] overlay: how often
+/// each static node, and each static edge, appeared on the dynamic
+/// critical path extracted by the simulator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CritOverlay {
+    /// Per node (indexed by `NodeId::index()`): times on the critical path.
+    pub node_counts: Vec<u64>,
+    /// Critical edges `(src, dst, cycles attributed)`, self-edges excluded.
+    pub edges: Vec<(NodeId, NodeId, u64)>,
+}
+
+/// Renders `g` with the dynamic critical path overlaid: nodes on the path
+/// are filled on a white→orange ramp by how many path steps visited them,
+/// and each critical edge is drawn as a bold orangered edge labelled with
+/// the cycles it contributed — the static circuit annotated with the
+/// dynamic chain that bounded its completion time.
+pub fn to_dot_crit(g: &Graph, title: &str, overlay: &CritOverlay) -> String {
+    let max_count = overlay.node_counts.iter().copied().max().unwrap_or(0);
+    let mut s = render(g, title, None);
+    let closing = s.rfind('}').unwrap_or(s.len());
+    s.truncate(closing);
+    for id in g.live_ids() {
+        let count = overlay.node_counts.get(id.index()).copied().unwrap_or(0);
+        if count == 0 || matches!(g.kind(id), NodeKind::Removed) {
+            continue;
+        }
+        // Orange ramp (HSV hue 0.083), saturation by relative visit count.
+        let sat = count as f64 / max_count.max(1) as f64;
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\\n{} crit={}\" style=filled fillcolor=\"0.083 {:.3} 1.000\"];",
+            id.index(),
+            node_label(g, id),
+            id,
+            count,
+            sat,
+        );
+    }
+    for (src, dst, cycles) in &overlay.edges {
+        let _ = writeln!(
+            s,
+            "  {} -> {} [style=bold color=orangered constraint=false label=\"{} cy\"];",
+            src.index(),
+            dst.index(),
+            cycles,
+        );
+    }
+    let _ = writeln!(s, "}}");
+    s
+}
+
 fn escape(t: &str) -> String {
     t.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -261,6 +312,23 @@ mod tests {
         assert!(dot.ends_with("}\n"), "{dot:?}");
         // Plain mode is unchanged by the overlay's existence.
         assert!(!to_dot(&g, "plain").contains("crimson"));
+    }
+
+    #[test]
+    fn crit_overlay_fills_path_nodes_and_labels_edges() {
+        let g = tiny_graph();
+        let ids: Vec<_> = g.live_ids().collect();
+        let overlay = CritOverlay { node_counts: vec![1, 0, 3], edges: vec![(ids[0], ids[2], 17)] };
+        let dot = to_dot_crit(&g, "crit", &overlay);
+        // Most-visited node is fully saturated orange; untouched nodes are
+        // not re-rendered at all.
+        assert!(dot.contains("crit=3"), "{dot}");
+        assert!(dot.contains("fillcolor=\"0.083 1.000 1.000\""), "{dot}");
+        assert!(!dot.contains("crit=0"), "{dot}");
+        assert!(dot.contains("color=orangered constraint=false label=\"17 cy\""), "{dot}");
+        assert!(dot.ends_with("}\n"), "{dot:?}");
+        // Plain mode is unchanged by the overlay's existence.
+        assert!(!to_dot(&g, "plain").contains("orangered"));
     }
 
     #[test]

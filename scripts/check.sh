@@ -29,4 +29,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> perf smoke (informational)"
 ./target/release/perf_smoke || echo "perf smoke failed (non-blocking)"
 
+# Non-blocking: regenerate the BENCH telemetry in target/bench-fresh and
+# diff it against the committed files at a ±10% sim.cycles threshold, so a
+# perf regression is visible in the log (CI uploads the fresh files as
+# artifacts). Warn-only: cycle counts can shift for legitimate reasons —
+# bless by copying the fresh files over the committed ones.
+echo "==> bench diff vs committed BENCH_*.json (informational)"
+mkdir -p target/bench-fresh
+(cd target/bench-fresh \
+    && ../../target/release/fig18_memops > /dev/null \
+    && ../../target/release/fig19_speedup > /dev/null) \
+    || echo "bench regeneration failed (non-blocking)"
+for f in BENCH_fig18.json BENCH_fig19.json; do
+    if [[ -f "$f" && -f "target/bench-fresh/$f" ]]; then
+        ./target/release/bench_diff "$f" "target/bench-fresh/$f" --threshold 10 \
+            || echo "bench_diff: $f regressed past +/-10% (non-blocking)"
+    fi
+done
+
 echo "OK: build, cashlint, tests, fmt and clippy all clean"

@@ -1,0 +1,121 @@
+//! Sanity cross-checks for the critical-path engine: on a hand-built
+//! straight-line chain the path must be the full data chain, and the token
+//! serialization that `token_removal` eliminates (the paper's Figure 5)
+//! must drop off the path at `Full`.
+
+use cash::{Compiler, EdgeClass, OptLevel, Program, SimConfig, SimResult};
+use cfgir::types::{Type, UnOp};
+use cfgir::Module;
+use pegasus::{NodeKind, Src, VClass};
+
+fn crit_cfg() -> SimConfig {
+    SimConfig::perfect().with_critpath(true)
+}
+
+/// A 10-deep unary chain between a constant and the return: every cycle of
+/// the run belongs to the data class, and the path visits each chain node
+/// exactly once — the dynamic path *is* the static chain.
+#[test]
+fn straight_line_chain_is_the_whole_path() {
+    const DEPTH: usize = 10;
+    let module = Module::new();
+    let mut g = pegasus::Graph::new();
+    let tok = g.add_node(NodeKind::InitialToken, 0, 0);
+    let ptrue = g.const_bool(true, 0);
+    let head = g.add_node(NodeKind::Const { value: 5, ty: Type::int(32) }, 0, 0);
+    // Gate the constant through an eta: etas are dynamic, so the chain
+    // below is real work, not a sticky (run-time constant) subgraph the
+    // executor folds at initialization.
+    let gate = g.add_node(NodeKind::Eta { vc: VClass::Data, ty: Type::int(32) }, 2, 0);
+    g.connect(Src::of(head), gate, 0);
+    g.connect(Src::of(ptrue), gate, 1);
+    let mut prev = gate;
+    let mut chain = Vec::new();
+    for _ in 0..DEPTH {
+        let n = g.add_node(NodeKind::UnOp { op: UnOp::Neg, ty: Type::int(32) }, 1, 0);
+        g.connect(Src::of(prev), n, 0);
+        chain.push(n);
+        prev = n;
+    }
+    let ret = g.add_node(NodeKind::Return { has_value: true, ty: Type::int(32) }, 3, 0);
+    g.connect(Src::of(ptrue), ret, 0);
+    g.connect(Src::of(tok), ret, 1);
+    g.connect(Src::of(prev), ret, 2);
+
+    let mut machine = ashsim::Machine::new(&module, ashsim::MemSystem::Perfect { latency: 2 });
+    let r = ashsim::simulate(&g, &mut machine, &[], &crit_cfg()).unwrap();
+    assert_eq!(r.ret, Some(5), "an even number of negations is the identity");
+    let crit = r.crit.as_ref().expect("critpath enabled");
+
+    // Every cycle is a data-chain cycle; nothing else can be critical.
+    assert_eq!(crit.attributed_total(), r.cycles - crit.start);
+    assert_eq!(crit.class_cycles(EdgeClass::Data), crit.attributed_total());
+    for c in EdgeClass::ALL {
+        if c != EdgeClass::Data {
+            assert_eq!(crit.class_cycles(c), 0, "{} cycles on a pure data chain", c.label());
+        }
+    }
+    // The path visits each chain node exactly once, and nothing off-chain.
+    for &n in &chain {
+        assert_eq!(crit.node_counts[n.index()], 1, "chain node {n} visited once");
+    }
+    assert_eq!(crit.node_counts[gate.index()], 1, "the gating eta is the path root");
+    assert_eq!(crit.node_counts[ret.index()], 1);
+    assert_eq!(crit.node_counts[ptrue.index()], 0, "sticky const is not an event");
+    // One unit-latency step per chain link, plus the return.
+    assert_eq!(r.cycles, DEPTH as u64, "each Neg adds one cycle");
+    assert_eq!(crit.path_len, DEPTH as u64 + 2, "root + chain + return");
+}
+
+/// The paper's Figure 5 shape: interleaved stores to two provably-disjoint
+/// globals. At `None` the stores serialize through token edges that sit on
+/// the critical path; `token_removal` at `Full` deletes exactly those
+/// edges, so memory-to-memory token steps disappear from the path.
+#[test]
+fn token_removal_takes_token_edges_off_the_path() {
+    const SRC: &str = "
+        int a[2]; int b[2];
+        int main(int n) {
+            a[0] = n;
+            b[0] = n + 1;
+            a[1] = n + 2;
+            b[1] = n + 3;
+            return a[0] + b[1];
+        }";
+    let run = |level: OptLevel| -> (Program, SimResult) {
+        let p = Compiler::new().level(level).compile(SRC).unwrap();
+        let r = p.simulate(&[5], &crit_cfg()).unwrap();
+        assert_eq!(r.ret, Some(13));
+        (p, r)
+    };
+    // Token-class path steps between two distinct memory operations: the
+    // serialization the optimizer is supposed to dissolve.
+    let mem_token_steps = |p: &Program, r: &SimResult| -> u64 {
+        let is_mem = |id: pegasus::NodeId| {
+            matches!(p.graph.kind(id), NodeKind::Load { .. } | NodeKind::Store { .. })
+        };
+        r.crit
+            .as_ref()
+            .expect("critpath enabled")
+            .edges
+            .iter()
+            .filter(|e| {
+                e.class == EdgeClass::Token && e.src != e.dst && is_mem(e.src) && is_mem(e.dst)
+            })
+            .map(|e| e.count)
+            .sum()
+    };
+
+    let (pn, rn) = run(OptLevel::None);
+    let (pf, rf) = run(OptLevel::Full);
+    assert!(
+        mem_token_steps(&pn, &rn) > 0,
+        "unoptimized stores must serialize through tokens on the path"
+    );
+    assert_eq!(
+        mem_token_steps(&pf, &rf),
+        0,
+        "token_removal must take the store-to-store serialization off the path"
+    );
+    assert!(rf.cycles <= rn.cycles, "removing critical edges cannot slow the circuit");
+}

@@ -14,7 +14,7 @@ const LOOP_SRC: &str = "
 
 fn observed(level: OptLevel, n: i64) -> (cash::Program, cash::SimResult) {
     let p = Compiler::new().level(level).compile(LOOP_SRC).unwrap();
-    let cfg = SimConfig { profile: true, trace: true, ..SimConfig::perfect() };
+    let cfg = SimConfig { profile: true, trace: true, critpath: true, ..SimConfig::perfect() };
     let r = p.simulate(&[n], &cfg).unwrap();
     (p, r)
 }
@@ -78,6 +78,7 @@ fn observability_is_off_by_default() {
     let r = p.simulate(&[4], &SimConfig::perfect()).unwrap();
     assert!(r.profile.is_none());
     assert!(r.trace.is_none());
+    assert!(r.crit.is_none());
 }
 
 /// The trace exporter is deterministic: same program, same input -> byte
@@ -154,6 +155,12 @@ fn telemetry_shares_one_json_schema() {
     assert!(line.starts_with("{\"schema\":\"cash-stats-v1\""));
     assert!(line.contains("\"passes\":[{\"pass\":\"scalar\""));
     assert!(line.contains("\"sim\":{\"ret\":6"));
+    // PR 1's stall-cause totals now ride along in the sim section, and the
+    // critical-path summary is the additive "crit" key.
+    assert!(line.contains("\"stalled\":{\"data\":"), "stall totals in the record: {line}");
+    assert!(line.contains("\"crit\":{\"path_len\":"), "crit summary in the record: {line}");
+    assert!(line.contains("\"classes\":{\"data\":"), "per-class split in the record");
+    assert!(line.contains("\"lsq_high_water\":"), "memory timeline in the record");
     // The static lint reports its wall time and per-rule counts in the same
     // record (all-zero counts on a clean kernel, but the keys are present).
     assert!(line.contains("\"lint\":{\"us\":"), "lint wall time in the record");
@@ -170,6 +177,45 @@ fn telemetry_shares_one_json_schema() {
     let rules: usize = p.report.rules().iter().map(|(_, v)| *v).sum();
     let rewrites: usize = p.report.passes.iter().map(|ps| ps.rewrites).sum();
     assert_eq!(rules, rewrites + p.report.rings_created + p.report.token_gens);
+}
+
+/// The critical-path recorder attributes every end-to-end cycle to an
+/// edge class, measures the memory system, and renders the DOT overlay.
+#[test]
+fn critical_path_covers_the_run_and_renders_the_overlay() {
+    let (p, r) = observed(OptLevel::None, 8);
+    let crit = r.crit.as_ref().expect("critpath enabled");
+    // The last-arrival walk telescopes: cycles = start + sum over classes.
+    assert_eq!(crit.attributed_total(), r.cycles - crit.start, "attribution covers the run");
+    assert!(crit.path_len > 0);
+    // The exit load waits on the store token chain at level None, so the
+    // token class carries cycles and the body store sits on the path.
+    assert!(crit.class_cycles(cash::EdgeClass::Token) > 0, "token serialization on the path");
+    let stores: Vec<_> = p
+        .graph
+        .live_ids()
+        .filter(|&id| matches!(p.graph.kind(id), NodeKind::Store { .. }))
+        .collect();
+    assert!(crit.node_counts[stores[0].index()] >= 1, "the loop store is on the path");
+    // The memory timeline saw the LSQ occupied, all at the L1/perfect level.
+    assert!(crit.timeline.lsq_high_water >= 1);
+    assert!(crit.timeline.occupancy_cycles.iter().skip(1).sum::<u64>() > 0);
+    assert!(crit.timeline.level_high_water[0] >= 1);
+    assert_eq!(crit.timeline.level_high_water[1], 0, "perfect memory never reaches L2");
+
+    let dot = p.to_dot_crit(crit);
+    assert!(dot.contains("digraph"));
+    assert!(dot.contains("fillcolor=\"0.083"), "orange path fill present");
+    assert!(dot.contains(" cy\""), "critical edges labelled with cycles");
+
+    // Same program, same input: the summary is deterministic.
+    let r2 = p
+        .simulate(
+            &[8],
+            &SimConfig { profile: true, trace: true, critpath: true, ..SimConfig::perfect() },
+        )
+        .unwrap();
+    assert_eq!(r.crit, r2.crit);
 }
 
 /// A deadlocked circuit names the blocked nodes and the input class each
@@ -215,9 +261,13 @@ fn deadlock_reports_blocked_nodes_and_missing_inputs() {
         ret_block.missing.iter().any(|&(_, c)| c == VClass::Token),
         "the return is missing its token input: {ret_block}"
     );
+    // The report names the operation and its hyperblock, not just the id.
+    assert_eq!(ret_block.op, "ret");
+    assert_eq!(ret_block.hb, 0);
     let msg = err.to_string();
     assert!(msg.contains("dataflow deadlock at cycle"), "{msg}");
     assert!(msg.contains("waiting on"), "{msg}");
+    assert!(msg.contains("(ret hb0)"), "blocked nodes carry kind + hyperblock: {msg}");
 
     // `diagnose` adds FIFO depths on top of the same report.
     let mut machine = ashsim::Machine::new(&module, ashsim::MemSystem::Perfect { latency: 2 });

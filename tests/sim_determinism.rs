@@ -85,6 +85,33 @@ fn observe_corpus() -> Vec<String> {
             p.simulate(&[arg], &cfg).unwrap_or_else(|e| panic!("{name} at {level}/{system}: {e}"));
         line(name, &level.to_string(), system, &r)
     }));
+    // Critical-path summaries: the last-arrival tie-break must be stable
+    // under the calendar-ring event order, so the per-class cycle split
+    // and path length of every kernel are golden too.
+    let crit_tasks: Vec<_> = workloads::suite()
+        .into_iter()
+        .flat_map(|w| {
+            [OptLevel::None, OptLevel::Full]
+                .into_iter()
+                .map(move |level| (w.name, w.source, w.default_arg, level))
+        })
+        .collect();
+    out.extend(cash::par::par_map(crit_tasks, |(name, source, arg, level)| {
+        let cfg = perfect().with_critpath(true);
+        let p = Compiler::new()
+            .level(level)
+            .compile(source)
+            .unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
+        let r = p.simulate(&[arg], &cfg).unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
+        let c = r.crit.as_ref().expect("critpath enabled");
+        assert_eq!(c.attributed_total(), r.cycles - c.start, "{name} at {level}: full coverage");
+        format!(
+            "crit {name} {level} path_len={} start={} classes={}",
+            c.path_len,
+            c.start,
+            c.classes_json()
+        )
+    }));
     out
 }
 
