@@ -245,10 +245,25 @@ pub fn simulate(
     args: &[i64],
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
-    let t0 = std::time::Instant::now();
-    let mut r = Executor::new(graph, machine, args, config)?.run()?;
-    r.wall_us = t0.elapsed().as_micros() as u64;
-    Ok(r)
+    let sp = obs::span::enter("sim.run");
+    let out = Executor::new(graph, machine, args, config).and_then(Executor::run);
+    let wall_us = sp.end_us();
+    obs::metrics::histogram("sim.us").observe(wall_us);
+    match out {
+        Ok(mut r) => {
+            r.wall_us = wall_us;
+            obs::metrics::counter("sim.runs").inc();
+            obs::metrics::counter("sim.fired").add(r.fired);
+            obs::metrics::histogram("sim.cycles").observe(r.cycles);
+            obs::flight::note("sim.run", "ok", r.cycles as i64, r.fired as i64);
+            Ok(r)
+        }
+        Err(e) => {
+            obs::metrics::counter("sim.errors").inc();
+            obs::flight::note("sim.run", "err", 0, 0);
+            Err(e)
+        }
+    }
 }
 
 /// Diagnostic: runs the graph and, on failure, returns a textual dump of
@@ -284,6 +299,19 @@ pub fn diagnose(
                     let Some(st) = st else { continue };
                     let id = NodeId(i as u32);
                     let _ = writeln!(s, "{id} TK credits={} queued={:?}", st.credits, st.queue);
+                }
+                // Flight-recorder tail: the last firings before the stall,
+                // oldest first, with cycle stamps — what the circuit was
+                // doing when it stopped making progress.
+                let tail = ex.recent_firings();
+                let _ = writeln!(s, "recent firings (last {}, oldest first):", tail.len());
+                for &(node, cycle) in &tail {
+                    let id = NodeId(node);
+                    let _ = writeln!(
+                        s,
+                        "  cycle {cycle}: {id} [{}]",
+                        crate::profile::kind_label(ex.g.kind(id))
+                    );
                 }
                 break Err((e, s));
             }
@@ -341,6 +369,9 @@ struct TokenGenState {
     last_arrival: Option<(u64, u32, u8)>,
 }
 
+/// Capacity of the executor's always-on recent-firings ring.
+const RECENT_CAP: usize = 64;
+
 struct Executor<'a> {
     g: &'a Graph,
     /// Dense port ids + CSR consumer adjacency (see [`pegasus::flat`]):
@@ -395,6 +426,10 @@ struct Executor<'a> {
     stall_since: Vec<Option<(u64, StallCause)>>,
     /// Recorded event stream, allocated only when `config.trace` is set.
     trace: Option<Vec<TraceEvent>>,
+    /// Always-on flight ring of the most recent firings `(node, cycle)`,
+    /// embedded in deadlock diagnoses. Two stores per firing.
+    recent: Vec<(u32, u64)>,
+    recent_next: usize,
     /// Is critical-path recording on? Gates every `crit` access.
     crit_on: bool,
     /// Critical-path recorder, stored inline so the instrumented hot path
@@ -785,6 +820,8 @@ impl<'a> Executor<'a> {
             prof: config.profile.then(|| vec![NodeProfile::default(); n]),
             stall_since: if config.profile { vec![None; n] } else { Vec::new() },
             trace: config.trace.then(Vec::new),
+            recent: Vec::with_capacity(RECENT_CAP),
+            recent_next: 0,
             crit_on,
             crit,
         };
@@ -1112,6 +1149,19 @@ impl<'a> Executor<'a> {
     /// Every node that holds partial inputs (or is ready but blocked on
     /// output space): the deadlock report. Nodes in their quiescent state —
     /// no values queued anywhere — are not "blocked", they are done.
+    /// The recent-firings ring, oldest first.
+    fn recent_firings(&self) -> Vec<(u32, u64)> {
+        let n = self.recent.len();
+        if n < RECENT_CAP {
+            return self.recent.clone();
+        }
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(self.recent[(self.recent_next + i) % n]);
+        }
+        out
+    }
+
     fn blocked_nodes(&self) -> Vec<BlockedNode> {
         let mut out = Vec::new();
         for id in self.g.live_ids() {
@@ -1230,6 +1280,12 @@ impl<'a> Executor<'a> {
             }
             self.fired += 1;
             self.has_fired[id.index()] = true;
+            if self.recent.len() < RECENT_CAP {
+                self.recent.push((id.0, self.now));
+            } else {
+                self.recent[self.recent_next] = (id.0, self.now);
+            }
+            self.recent_next = (self.recent_next + 1) % RECENT_CAP;
             if self.prof.is_some() {
                 self.note_fire(id);
             }

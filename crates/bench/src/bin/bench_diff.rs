@@ -2,15 +2,22 @@
 //! percentage threshold; exits non-zero when any row regressed past it.
 //!
 //! ```text
-//! cargo run -p cash-bench --bin bench_diff -- OLD.json NEW.json [--threshold PCT]
+//! cargo run -p cash-bench --bin bench_diff -- OLD.json NEW.json [--threshold PCT] [--wall]
 //! ```
+//!
+//! `--wall` additionally compares the wall-clock telemetry (`sim.us`,
+//! `opt.us`) and the per-crit-class cycle attribution at the same
+//! threshold — soft: wall time is machine-dependent, so those findings
+//! are warnings and never affect the exit code. The `sim.cycles` gate
+//! still applies.
 
-use cash_bench::diff::diff;
+use cash_bench::diff::{diff, wall_diff};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut threshold = 10.0f64;
+    let mut wall = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -21,6 +28,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--threshold needs a number"));
             }
+            "--wall" => wall = true,
             "--help" | "-h" => usage(""),
             a => files.push(a.to_string()),
         }
@@ -39,6 +47,9 @@ fn main() {
     let new_text = read(&files[1]);
     let rep = diff(&old_text, &new_text, threshold);
     print!("{}", rep.render(threshold));
+    if wall {
+        print!("{}", wall_diff(&old_text, &new_text, threshold).render(threshold));
+    }
     if rep.compared == 0 {
         eprintln!("bench_diff: no comparable rows — wrong files?");
         std::process::exit(2);
@@ -52,6 +63,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("bench_diff: {err}");
     }
-    eprintln!("usage: bench_diff OLD.json NEW.json [--threshold PCT]");
+    eprintln!("usage: bench_diff OLD.json NEW.json [--threshold PCT] [--wall]");
     std::process::exit(2);
 }

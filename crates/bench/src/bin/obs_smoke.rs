@@ -1,0 +1,70 @@
+//! A/B overhead smoke for the observability runtime: the same kernels,
+//! compiled and simulated with `obs` recording ON and OFF in the same
+//! process, must agree on wall time to within a few percent.
+//!
+//! Recording is flipped with `obs::set_enabled` between *interleaved*
+//! rounds (on/off/on/off…) and each side keeps its **minimum** — the
+//! min-of-k estimator discards scheduler noise, and interleaving cancels
+//! cache/frequency drift, so the comparison is stable enough for a hard
+//! gate even on shared CI boxes.
+//!
+//! Run with `cargo run --release -p cash-bench --bin obs_smoke`.
+//! Exits non-zero when the overhead exceeds the threshold (default 3%).
+
+use std::time::Instant;
+
+use cash::{OptLevel, SimConfig};
+use workloads::Workload;
+
+const ROUNDS: usize = 5;
+
+fn one_run(w: &Workload, cfg: &SimConfig) -> u64 {
+    let t = Instant::now();
+    let r = w.run(OptLevel::Full, w.default_arg, cfg).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    assert_eq!(r.ret, Some((w.reference)(w.default_arg)), "{} diverged", w.name);
+    t.elapsed().as_micros() as u64
+}
+
+fn main() {
+    let threshold: f64 = std::env::args()
+        .skip(1)
+        .skip_while(|a| a != "--threshold")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3.0);
+
+    // The perf_smoke pair: one control-heavy, one memory-heavy kernel.
+    let picks = ["g721_e", "129.compress"];
+    let cfg = SimConfig::perfect();
+    let mut total_on = 0u64;
+    let mut total_off = 0u64;
+    println!("obs overhead smoke (min of {ROUNDS} interleaved rounds per side):");
+    for w in workloads::suite().into_iter().filter(|w| picks.contains(&w.name)) {
+        // Warm-up run so first-touch effects (lazy statics, page faults)
+        // don't land on one side of the comparison.
+        obs::set_enabled(true);
+        one_run(&w, &cfg);
+        let (mut on, mut off) = (u64::MAX, u64::MAX);
+        for _ in 0..ROUNDS {
+            obs::set_enabled(true);
+            on = on.min(one_run(&w, &cfg));
+            obs::set_enabled(false);
+            off = off.min(one_run(&w, &cfg));
+        }
+        obs::set_enabled(true);
+        let pct = 100.0 * (on as f64 - off as f64) / off.max(1) as f64;
+        println!("  {:<14} on {:>7}us  off {:>7}us  delta {:>+6.2}%", w.name, on, off, pct);
+        total_on += on;
+        total_off += off;
+    }
+    let pct = 100.0 * (total_on as f64 - total_off as f64) / total_off.max(1) as f64;
+    println!(
+        "  {:<14} on {:>7}us  off {:>7}us  delta {:>+6.2}%",
+        "TOTAL", total_on, total_off, pct
+    );
+    if pct > threshold {
+        eprintln!("obs_smoke: recording overhead {pct:+.2}% exceeds {threshold}% budget");
+        std::process::exit(1);
+    }
+    println!("obs_smoke: within the {threshold}% budget");
+}

@@ -49,18 +49,28 @@ pub struct DiffReport {
     pub compared: usize,
 }
 
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+/// First `"key":"<value>"` string field of the line (`cashtop` shares
+/// this scanner to label live records).
+pub fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let i = line.find(&pat)? + pat.len();
     let rest = &line[i..];
     Some(&rest[..rest.find('"')?])
 }
 
+/// First `"key":<digits>` after the first `"section":{` of the line. Our
+/// serializer's fixed key order guarantees the first match is the
+/// section's own field, not something nested deeper.
+pub fn section_u64(line: &str, section: &str, key: &str) -> Option<u64> {
+    let sec = &line[line.find(&format!("\"{section}\":{{"))?..];
+    let pat = format!("\"{key}\":");
+    let i = sec.find(&pat)? + pat.len();
+    let end = sec[i..].find(|c: char| !c.is_ascii_digit())? + i;
+    sec[i..end].parse().ok()
+}
+
 fn sim_cycles(line: &str) -> Option<u64> {
-    let sim = &line[line.find("\"sim\":{")?..];
-    let i = sim.find("\"cycles\":")? + "\"cycles\":".len();
-    let end = sim[i..].find(|c: char| !c.is_ascii_digit())? + i;
-    sim[i..end].parse().ok()
+    section_u64(line, "sim", "cycles")
 }
 
 /// Extracts the comparable rows of one telemetry file, in file order.
@@ -163,6 +173,152 @@ impl DiffReport {
     }
 }
 
+// ---- --wall mode: soft wall-clock + crit-class comparison ----
+
+/// The critical-path edge classes, in `cash-stats-v1` serialization
+/// order (must match `ashsim::EdgeClass::label`).
+pub const CRIT_CLASSES: [&str; 7] =
+    ["data", "pred", "token", "lsq_order", "mem", "cache_miss", "backpressure"];
+
+/// Wall-clock and crit-class fields of one stats row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WallRow {
+    /// `bench/kernel/level/system`.
+    pub key: String,
+    /// Simulator wall time, microseconds (`sim.us`).
+    pub sim_us: u64,
+    /// Optimizer wall time, microseconds (`opt.us`).
+    pub opt_us: u64,
+    /// Per-class attributed cycles (`sim.crit.classes`), when the row was
+    /// collected with critical-path recording on.
+    pub crit: Option<[u64; 7]>,
+}
+
+/// One wall-time or crit-class movement past the soft threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WallDelta {
+    pub key: String,
+    /// `sim.us`, `opt.us`, or `crit.<class>`.
+    pub metric: String,
+    pub old: u64,
+    pub new: u64,
+    pub pct: f64,
+}
+
+/// The outcome of a `--wall` comparison. Wall time is machine-dependent,
+/// so this report is always soft: it renders warnings and never fails.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WallReport {
+    pub deltas: Vec<WallDelta>,
+    pub compared: usize,
+}
+
+/// Extracts the wall-clock rows of one telemetry file, in file order.
+pub fn parse_wall(text: &str) -> Vec<WallRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let (Some(bench), Some(kernel), Some(level), Some(system)) = (
+            field_str(line, "bench"),
+            field_str(line, "kernel"),
+            field_str(line, "level"),
+            field_str(line, "system"),
+        ) else {
+            continue;
+        };
+        let (Some(sim_us), Some(opt_us)) =
+            (section_u64(line, "sim", "us"), section_u64(line, "opt", "us"))
+        else {
+            continue;
+        };
+        let crit = line.find("\"classes\":{").map(|_| {
+            let mut c = [0u64; 7];
+            for (i, label) in CRIT_CLASSES.iter().enumerate() {
+                c[i] = section_u64(line, "classes", label).unwrap_or(0);
+            }
+            c
+        });
+        rows.push(WallRow {
+            key: format!("{bench}/{kernel}/{level}/{system}"),
+            sim_us,
+            opt_us,
+            crit,
+        });
+    }
+    rows
+}
+
+fn pct_change(old: u64, new: u64) -> f64 {
+    if old == 0 {
+        if new == 0 {
+            0.0
+        } else {
+            100.0
+        }
+    } else {
+        100.0 * (new as f64 - old as f64) / old as f64
+    }
+}
+
+/// Compares `sim.us`/`opt.us` wall times and per-crit-class cycle
+/// attribution at a ± `threshold_pct` soft threshold. Tiny absolute wall
+/// times (< 100 µs) are skipped — their percentages are noise.
+pub fn wall_diff(old_text: &str, new_text: &str, threshold_pct: f64) -> WallReport {
+    let old_rows = parse_wall(old_text);
+    let new_rows = parse_wall(new_text);
+    let old_by_key: HashMap<&str, &WallRow> =
+        old_rows.iter().map(|r| (r.key.as_str(), r)).collect();
+    let mut rep = WallReport::default();
+    for r in &new_rows {
+        let Some(old) = old_by_key.get(r.key.as_str()) else { continue };
+        rep.compared += 1;
+        let mut push = |metric: &str, o: u64, n: u64, floor: u64| {
+            let pct = pct_change(o, n);
+            if pct.abs() >= threshold_pct && (o >= floor || n >= floor) {
+                rep.deltas.push(WallDelta {
+                    key: r.key.clone(),
+                    metric: metric.to_string(),
+                    old: o,
+                    new: n,
+                    pct,
+                });
+            }
+        };
+        push("sim.us", old.sim_us, r.sim_us, 100);
+        push("opt.us", old.opt_us, r.opt_us, 100);
+        if let (Some(oc), Some(nc)) = (&old.crit, &r.crit) {
+            for (i, label) in CRIT_CLASSES.iter().enumerate() {
+                push(&format!("crit.{label}"), oc[i], nc[i], 1);
+            }
+        }
+    }
+    rep.deltas.sort_by(|a, b| b.pct.abs().total_cmp(&a.pct.abs()));
+    rep
+}
+
+impl WallReport {
+    /// Human-readable rendering; all findings are warnings.
+    pub fn render(&self, threshold_pct: f64) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "bench_diff --wall: {} rows compared, soft threshold ±{threshold_pct}% (warn only)",
+            self.compared
+        );
+        for d in &self.deltas {
+            let unit = if d.metric.starts_with("crit.") { "cycles" } else { "us" };
+            let _ = writeln!(
+                s,
+                "  warn {:<40} {:<18} {:>10} -> {:>10} {unit} ({:+.1}%)",
+                d.key, d.metric, d.old, d.new, d.pct
+            );
+        }
+        if self.deltas.is_empty() {
+            let _ = writeln!(s, "  ok: no wall-time or crit-class movement past the threshold");
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,6 +366,60 @@ mod tests {
         assert_eq!(rep.improvements.len(), 1);
         assert_eq!(rep.improvements[0].key, "fig19/b/Full/perfect");
         assert!(rep.render(10.0).contains("ok: no regressions"));
+    }
+
+    fn wall_line(kernel: &str, sim_us: u64, opt_us: u64, token: u64) -> String {
+        format!(
+            "{{\"schema\":\"cash-stats-v1\",\"bench\":\"fig19\",\"kernel\":\"{kernel}\",\
+             \"level\":\"Full\",\"system\":\"perfect\",\
+             \"opt\":{{\"rules\":{{}},\"static\":{{}},\"us\":{opt_us},\"passes\":[]}},\
+             \"sim\":{{\"ret\":1,\"cycles\":500,\"fired\":9,\"deferrals\":0,\"us\":{sim_us},\
+             \"crit\":{{\"start\":0,\"path_len\":3,\"classes\":{{\"data\":100,\"pred\":0,\
+             \"token\":{token},\"lsq_order\":0,\"mem\":0,\"cache_miss\":0,\
+             \"backpressure\":0}}}}}}}}"
+        )
+    }
+
+    #[test]
+    fn wall_rows_parse_both_times_and_crit_classes() {
+        let rows = parse_wall(&wall_line("a", 1234, 567, 42));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].sim_us, 1234);
+        assert_eq!(rows[0].opt_us, 567);
+        let crit = rows[0].crit.unwrap();
+        assert_eq!(crit[0], 100); // data
+        assert_eq!(crit[2], 42); // token
+    }
+
+    #[test]
+    fn wall_diff_warns_on_time_and_crit_movement_but_is_soft() {
+        let old =
+            format!("{}\n{}\n", wall_line("a", 1000, 1000, 100), wall_line("b", 1000, 1000, 100));
+        // a: sim.us +50% and token cycles doubled; b: unchanged.
+        let new =
+            format!("{}\n{}\n", wall_line("a", 1500, 1000, 200), wall_line("b", 1000, 1000, 100));
+        let rep = wall_diff(&old, &new, 20.0);
+        assert_eq!(rep.compared, 2);
+        let metrics: Vec<&str> = rep.deltas.iter().map(|d| d.metric.as_str()).collect();
+        assert!(metrics.contains(&"sim.us"), "{metrics:?}");
+        assert!(metrics.contains(&"crit.token"), "{metrics:?}");
+        assert!(!metrics.contains(&"opt.us"));
+        let rendered = rep.render(20.0);
+        assert!(rendered.contains("warn only"));
+        assert!(rendered.contains("crit.token"));
+    }
+
+    #[test]
+    fn wall_diff_skips_sub_noise_floor_times() {
+        // 10 -> 30 µs is a 200% swing but far below the 100 µs floor.
+        let rep = wall_diff(&wall_line("a", 10, 10, 0), &wall_line("a", 30, 30, 0), 20.0);
+        assert!(
+            rep.deltas
+                .iter()
+                .all(|d| d.metric.starts_with("crit.") || d.old >= 100 || d.new >= 100),
+            "{rep:?}"
+        );
+        assert!(rep.deltas.iter().all(|d| !d.metric.ends_with(".us")), "{rep:?}");
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub fn run_compiled(w: &Workload, level: OptLevel, cfg: &SimConfig) -> (Program,
     (p, r)
 }
 
-/// Renders the shared `cash-stats-v1` record for one harness run.
+/// Renders the shared `cash-stats-v1` record for one harness run, and
+/// mirrors it to the live JSONL stream (`CASH_STATS_STREAM`) so `cashtop`
+/// can tail an in-flight sweep.
 pub fn stats_line(
     bench: &str,
     system: &str,
@@ -48,8 +50,18 @@ pub fn stats_line(
     p: &Program,
     r: &SimResult,
 ) -> String {
-    StatsRecord { bench, kernel: w.name, level: &level.to_string(), system, opt: &p.report, sim: r }
-        .to_json()
+    let line = StatsRecord {
+        bench,
+        kernel: w.name,
+        level: &level.to_string(),
+        system,
+        opt: &p.report,
+        sim: r,
+        spans: &p.spans,
+    }
+    .to_json();
+    obs::stream::emit(&line);
+    line
 }
 
 /// Writes the collected telemetry lines to `BENCH_<bench>.json` in the

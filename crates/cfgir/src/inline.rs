@@ -44,6 +44,7 @@ impl std::error::Error for InlineError {}
 /// Fails if a callee is undefined, if the reachable call graph is recursive,
 /// or if a call site's arity disagrees with the callee.
 pub fn inline_all(module: &Module, entry: &str) -> Result<Function, InlineError> {
+    let _sp = obs::span::enter("cfg.inline");
     let f =
         module.function(entry).ok_or_else(|| InlineError::UnknownFunction(entry.to_string()))?;
     check_acyclic(module, entry)?;

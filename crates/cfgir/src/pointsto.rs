@@ -24,6 +24,7 @@ use crate::objects::ObjectSet;
 /// Recomputes the `may` sets of all loads and stores in `f` and returns the
 /// per-register points-to table (indexed by register number).
 pub fn recompute_may_sets(f: &mut Function) -> Vec<ObjectSet> {
+    let _sp = obs::span::enter("cfg.pointsto");
     let n = f.reg_ty.len();
     let mut pts: Vec<ObjectSet> = vec![ObjectSet::empty(); n];
     // Seed pointer parameters.

@@ -46,6 +46,7 @@ pub use ashsim::{
     StallCause, Trace, TraceEvent,
 };
 pub use lint::{lint, LintConfig, LintDiag, LintReport, Rule as LintRule};
+pub use obs::SpanRec;
 pub use opt::{lint_config, OptConfig, OptLevel, OptReport, PassStat};
 pub use pegasus::NodeHeat;
 pub use stats::StatsRecord;
@@ -160,10 +161,28 @@ impl Compiler {
 
     /// Compiles `source` to an optimized spatial program.
     ///
+    /// The whole pipeline runs under an `obs` span capture: the finished
+    /// span tree (frontend, CFG construction, Pegasus build, each opt
+    /// pass, lint) travels in [`Program::spans`], feeds the additive
+    /// `spans` field of `cash-stats-v1` records and merges into Perfetto
+    /// trace exports ([`Program::merged_trace_json`]).
+    ///
     /// # Errors
     ///
     /// See [`Error`].
     pub fn compile(&self, source: &str) -> Result<Program, Error> {
+        obs::flight::install_panic_hook();
+        let (result, spans) = obs::span::capture(|| self.compile_uncaptured(source));
+        obs::metrics::counter("compile.runs").inc();
+        obs::metrics::flush_thread();
+        result.map(|mut p| {
+            p.spans = spans;
+            p
+        })
+    }
+
+    fn compile_uncaptured(&self, source: &str) -> Result<Program, Error> {
+        let sp = obs::span::enter("compile");
         let cfg = self.opt_config();
         let mut module = minic::compile_to_module(source)?;
         let mut flat = cfgir::inline::inline_all(&module, &self.entry)?;
@@ -178,23 +197,33 @@ impl Compiler {
         let (graph, report, static_unopt) = {
             let oracle = AliasOracle::new(&module);
             let f = module.function(&self.entry).expect("entry exists");
-            let mut graph = pegasus::build(
-                f,
-                &oracle,
-                &pegasus::BuildOptions { use_rw_sets: cfg.rw_sets_at_build },
-            )?;
-            pegasus::verify(&graph)?;
+            let mut graph = {
+                let _sp = obs::span::enter("pegasus.build");
+                pegasus::build(
+                    f,
+                    &oracle,
+                    &pegasus::BuildOptions { use_rw_sets: cfg.rw_sets_at_build },
+                )?
+            };
+            {
+                let _sp = obs::span::enter("pegasus.verify");
+                pegasus::verify(&graph)?;
+            }
             let static_unopt = graph.count_memory_ops();
             let report = opt::optimize(&mut graph, &oracle, &cfg);
+            let _sp = obs::span::enter("pegasus.verify");
             pegasus::verify(&graph)?;
             (graph, report, static_unopt)
         };
+        let us = sp.end_us();
+        obs::metrics::histogram("compile.us").observe(us);
         Ok(Program {
             module,
             graph,
             report,
             entry: self.entry.clone(),
             static_unoptimized: static_unopt,
+            spans: Vec::new(),
         })
     }
 }
@@ -212,6 +241,9 @@ pub struct Program {
     pub entry: String,
     /// `(loads, stores)` in the graph before optimization.
     pub static_unoptimized: (usize, usize),
+    /// The compile's observability span tree (completion order), captured
+    /// by [`Compiler::compile`]. Empty when recording is disabled.
+    pub spans: Vec<SpanRec>,
 }
 
 impl Program {
@@ -305,6 +337,14 @@ impl Program {
     /// simulating with [`SimConfig::trace`] set.
     pub fn trace_to_chrome_json(&self, trace: &Trace) -> String {
         trace.to_chrome_json(&self.graph)
+    }
+
+    /// Like [`Program::trace_to_chrome_json`], but with this program's
+    /// compiler spans spliced in as their own process track — one Perfetto
+    /// timeline showing the compiler (per-pass, microseconds) next to the
+    /// simulated circuit and memory system (cycles).
+    pub fn merged_trace_json(&self, trace: &Trace) -> String {
+        obs::perfetto::merge_chrome_trace(&self.trace_to_chrome_json(trace), &self.spans)
     }
 
     /// Serializes a profiled run's per-node profile as JSON.

@@ -10,7 +10,7 @@
 //! All serializers in the dialect emit keys in a fixed order with no
 //! whitespace, so records for identical runs are byte-identical.
 
-use crate::{OptReport, SimResult};
+use crate::{OptReport, SimResult, SpanRec};
 use std::fmt::Write;
 
 /// One run's combined compiler + simulator telemetry.
@@ -28,6 +28,11 @@ pub struct StatsRecord<'a> {
     pub opt: &'a OptReport,
     /// What the simulation did.
     pub sim: &'a SimResult,
+    /// The compile's observability span tree ([`crate::Program::spans`]).
+    /// Additive `cash-stats-v1` field (the schema tag stays `v1`): rendered
+    /// as compact `[name, depth, start_us, dur_us]` rows, `[]` when
+    /// recording is off — old consumers ignore the extra key.
+    pub spans: &'a [SpanRec],
 }
 
 impl StatsRecord<'_> {
@@ -37,13 +42,14 @@ impl StatsRecord<'_> {
         let _ = write!(
             s,
             "{{\"schema\":\"cash-stats-v1\",\"bench\":\"{}\",\"kernel\":\"{}\",\
-             \"level\":\"{}\",\"system\":\"{}\",\"opt\":{},\"sim\":{}}}",
+             \"level\":\"{}\",\"system\":\"{}\",\"opt\":{},\"sim\":{},\"spans\":{}}}",
             escape(self.bench),
             escape(self.kernel),
             escape(self.level),
             escape(self.system),
             self.opt.to_json(),
             self.sim.to_json(),
+            obs::spans_to_json(self.spans),
         );
         s
     }
@@ -87,9 +93,11 @@ mod tests {
             system: "perfect",
             opt: &p.report,
             sim: &r,
+            spans: &p.spans,
         };
         let json = rec.to_json();
         assert!(json.starts_with("{\"schema\":\"cash-stats-v1\""));
+        assert!(json.contains("\"spans\":["));
         assert!(json.contains("\"rules\":{"));
         assert!(json.contains("\"passes\":["));
         assert!(json.contains("\"ret\":7"));

@@ -147,6 +147,7 @@ impl Default for LintConfig {
 /// Runs every enabled rule over `g` and returns the diagnostics, ordered
 /// by anchor node then rule.
 pub fn lint(g: &Graph, oracle: &AliasOracle<'_>, cfg: &LintConfig) -> Vec<LintDiag> {
+    let _sp = obs::span::enter("lint");
     let mut diags = Vec::new();
     if cfg.tokens || cfg.redundancy || cfg.races {
         token::check(g, oracle, cfg, &mut diags);

@@ -74,7 +74,12 @@ impl From<LowerError> for CompileError {
 ///
 /// Returns the first lexical, syntactic or semantic error.
 pub fn compile_to_module(src: &str) -> Result<Module, CompileError> {
-    let program = parse(src)?;
+    let _sp = obs::span::enter("frontend");
+    let program = {
+        let _sp = obs::span::enter("frontend.parse");
+        parse(src)?
+    };
+    let _sp = obs::span::enter("frontend.lower");
     Ok(lower::lower(&program)?)
 }
 

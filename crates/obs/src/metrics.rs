@@ -1,0 +1,409 @@
+//! Named metrics with per-thread shards and deterministic merge.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are interned once per
+//! name and index into a fixed slab of global `AtomicU64` slots. The hot
+//! path writes only to a plain (non-atomic) thread-local shard; a thread
+//! folds its shard into the global slots via [`flush_thread`] — which
+//! `cash::par` workers call before exiting — using commutative operations
+//! only (saturating add for counters/histograms, max for gauges), so the
+//! aggregated totals are identical no matter how work was sharded across
+//! `CASH_THREADS`.
+//!
+//! Histograms are log₂-bucketed: value `v` lands in bucket
+//! `64 - v.leading_zeros()` (bucket 0 holds zeros, bucket k holds
+//! `[2^(k-1), 2^k)`), with exact `count` and `sum` carried alongside.
+//! Bucketed merge is pure addition, hence deterministic.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Log₂ buckets: one for zero plus one per bit of a u64.
+pub const HIST_BUCKETS: usize = 65;
+/// Buckets + count + sum.
+const HIST_SLOTS: usize = HIST_BUCKETS + 2;
+/// Global slot slab capacity. Registration past this panics; the whole
+/// pipeline uses a few dozen metrics, so 64K slots is a hard ceiling we
+/// never approach.
+const MAX_SLOTS: usize = 1 << 16;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn slots(self) -> usize {
+        match self {
+            Kind::Counter | Kind::Gauge => 1,
+            Kind::Histogram => HIST_SLOTS,
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct Meta {
+    name: &'static str,
+    kind: Kind,
+    base: usize,
+}
+
+struct Registry {
+    metas: Mutex<Vec<Meta>>,
+    slots: Box<[AtomicU64]>,
+    used: AtomicUsize,
+}
+
+fn registry() -> &'static Registry {
+    static REG: OnceLock<Registry> = OnceLock::new();
+    REG.get_or_init(|| Registry {
+        metas: Mutex::new(Vec::new()),
+        slots: (0..MAX_SLOTS).map(|_| AtomicU64::new(0)).collect(),
+        used: AtomicUsize::new(0),
+    })
+}
+
+thread_local! {
+    /// Plain per-thread shard, grown on demand to cover all registered
+    /// slots. Counters/histogram cells accumulate; gauge cells hold the
+    /// thread-local max.
+    static SHARD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn intern(name: &'static str, kind: Kind) -> usize {
+    let reg = registry();
+    let mut metas = reg.metas.lock().unwrap();
+    if let Some(m) = metas.iter().find(|m| m.name == name) {
+        assert_eq!(m.kind, kind, "metric {name:?} re-registered with a different kind");
+        return m.base;
+    }
+    let base = reg.used.fetch_add(kind.slots(), Ordering::Relaxed);
+    assert!(base + kind.slots() <= MAX_SLOTS, "metric slot slab exhausted");
+    metas.push(Meta { name, kind, base });
+    base
+}
+
+fn shard_bump(base: usize, len: usize, f: impl FnOnce(&mut [u64])) {
+    if !crate::enabled() {
+        return;
+    }
+    SHARD.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.len() < base + len {
+            let used = registry().used.load(Ordering::Relaxed);
+            s.resize(used.max(base + len), 0);
+        }
+        f(&mut s[base..base + len]);
+    });
+}
+
+/// Monotonic event count. Merge: addition.
+#[derive(Clone, Copy)]
+pub struct Counter(usize);
+
+/// High-water mark. Merge: max — the only gauge semantics with a
+/// thread-count-independent aggregate.
+#[derive(Clone, Copy)]
+pub struct Gauge(usize);
+
+/// Log₂-bucketed distribution with exact count and sum.
+#[derive(Clone, Copy)]
+pub struct Histogram(usize);
+
+pub fn counter(name: &'static str) -> Counter {
+    Counter(intern(name, Kind::Counter))
+}
+
+pub fn gauge(name: &'static str) -> Gauge {
+    Gauge(intern(name, Kind::Gauge))
+}
+
+pub fn histogram(name: &'static str) -> Histogram {
+    Histogram(intern(name, Kind::Histogram))
+}
+
+impl Counter {
+    pub fn add(&self, n: u64) {
+        shard_bump(self.0, 1, |c| c[0] = c[0].saturating_add(n));
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+impl Gauge {
+    /// Raises the high-water mark to at least `v`.
+    pub fn record(&self, v: u64) {
+        shard_bump(self.0, 1, |c| c[0] = c[0].max(v));
+    }
+}
+
+/// Bucket index for value `v`: 0 for zero, else one past the position of
+/// the highest set bit.
+pub fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `b` (`u64::MAX` for the last).
+pub fn bucket_hi(b: usize) -> u64 {
+    match b {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << b) - 1,
+    }
+}
+
+impl Histogram {
+    pub fn observe(&self, v: u64) {
+        shard_bump(self.0, HIST_SLOTS, |c| {
+            c[bucket_of(v)] = c[bucket_of(v)].saturating_add(1);
+            c[HIST_BUCKETS] = c[HIST_BUCKETS].saturating_add(1);
+            c[HIST_BUCKETS + 1] = c[HIST_BUCKETS + 1].saturating_add(v);
+        });
+    }
+}
+
+/// Folds this thread's shard into the global slots and clears it. Safe
+/// (and cheap) to call when the shard is empty. `cash::par` workers call
+/// this before joining; long-lived threads should call it at natural
+/// drain points (e.g. after each compile).
+pub fn flush_thread() {
+    let reg = registry();
+    SHARD.with(|s| {
+        let mut s = s.borrow_mut();
+        if s.iter().all(|&v| v == 0) {
+            return;
+        }
+        let metas = reg.metas.lock().unwrap();
+        for m in metas.iter() {
+            for i in 0..m.kind.slots() {
+                let idx = m.base + i;
+                if idx >= s.len() || s[idx] == 0 {
+                    continue;
+                }
+                match m.kind {
+                    Kind::Gauge => {
+                        reg.slots[idx].fetch_max(s[idx], Ordering::Relaxed);
+                    }
+                    Kind::Counter | Kind::Histogram => {
+                        reg.slots[idx].fetch_add(s[idx], Ordering::Relaxed);
+                    }
+                }
+                s[idx] = 0;
+            }
+        }
+    });
+}
+
+/// One merged histogram, bucket counts plus exact count/sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnap {
+    pub buckets: [u64; HIST_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+}
+
+impl HistSnap {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (q in [0,1]).
+    pub fn quantile_hi(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_hi(b);
+            }
+        }
+        bucket_hi(HIST_BUCKETS - 1)
+    }
+}
+
+/// One metric's merged global value at snapshot time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snap {
+    pub name: &'static str,
+    pub kind: Kind,
+    /// Counter/gauge value; histogram `count`.
+    pub value: u64,
+    pub hist: Option<HistSnap>,
+}
+
+/// Flushes the calling thread, then reads every registered metric's
+/// merged global value, sorted by name.
+pub fn snapshot() -> Vec<Snap> {
+    flush_thread();
+    let reg = registry();
+    let metas: Vec<Meta> = reg.metas.lock().unwrap().clone();
+    let mut out: Vec<Snap> = metas
+        .iter()
+        .map(|m| match m.kind {
+            Kind::Counter | Kind::Gauge => Snap {
+                name: m.name,
+                kind: m.kind,
+                value: reg.slots[m.base].load(Ordering::Relaxed),
+                hist: None,
+            },
+            Kind::Histogram => {
+                let mut buckets = [0u64; HIST_BUCKETS];
+                for (i, b) in buckets.iter_mut().enumerate() {
+                    *b = reg.slots[m.base + i].load(Ordering::Relaxed);
+                }
+                let count = reg.slots[m.base + HIST_BUCKETS].load(Ordering::Relaxed);
+                let sum = reg.slots[m.base + HIST_BUCKETS + 1].load(Ordering::Relaxed);
+                Snap {
+                    name: m.name,
+                    kind: m.kind,
+                    value: count,
+                    hist: Some(HistSnap { buckets, count, sum }),
+                }
+            }
+        })
+        .collect();
+    out.sort_by_key(|s| s.name);
+    out
+}
+
+/// Renders the snapshot as one compact JSON object keyed by metric name,
+/// sorted: counters/gauges as numbers, histograms as
+/// `{"count":N,"sum":S,"p50":..,"p99":..}`. Deterministic for a given
+/// set of recorded values.
+pub fn snapshot_json() -> String {
+    let snaps = snapshot();
+    let mut s = String::from("{");
+    for (i, m) in snaps.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        match &m.hist {
+            None => s.push_str(&format!("\"{}\":{}", m.name, m.value)),
+            Some(h) => s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
+                m.name,
+                h.count,
+                h.sum,
+                h.quantile_hi(0.50),
+                h.quantile_hi(0.99)
+            )),
+        }
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_hi(0), 0);
+        assert_eq!(bucket_hi(1), 1);
+        assert_eq!(bucket_hi(2), 3);
+        assert_eq!(bucket_hi(64), u64::MAX);
+    }
+
+    #[test]
+    fn counter_gauge_histogram_roundtrip() {
+        crate::set_enabled(true);
+        let c = counter("test.obs.counter");
+        let g = gauge("test.obs.gauge");
+        let h = histogram("test.obs.hist");
+        c.add(3);
+        c.inc();
+        g.record(7);
+        g.record(5);
+        for v in [0u64, 1, 2, 100, 100] {
+            h.observe(v);
+        }
+        let snaps = snapshot();
+        if cfg!(feature = "noop") {
+            return;
+        }
+        let by = |n: &str| snaps.iter().find(|s| s.name == n).unwrap().clone();
+        assert_eq!(by("test.obs.counter").value, 4);
+        assert_eq!(by("test.obs.gauge").value, 7);
+        let h = by("test.obs.hist").hist.unwrap();
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 203);
+        assert_eq!(h.buckets[bucket_of(100)], 2);
+        assert_eq!(h.mean(), 40.6);
+    }
+
+    #[test]
+    fn merge_is_thread_partition_independent() {
+        crate::set_enabled(true);
+        let run = |chunks: &[&[u64]]| -> (u64, HistSnap) {
+            let c = counter("test.obs.merge.counter");
+            let h = histogram("test.obs.merge.hist");
+            let before = snapshot();
+            let base_c = before.iter().find(|s| s.name == "test.obs.merge.counter").unwrap().value;
+            let base_h = before
+                .iter()
+                .find(|s| s.name == "test.obs.merge.hist")
+                .unwrap()
+                .hist
+                .clone()
+                .unwrap();
+            std::thread::scope(|scope| {
+                for chunk in chunks {
+                    scope.spawn(move || {
+                        crate::set_enabled(true);
+                        for &v in *chunk {
+                            c.add(v);
+                            h.observe(v);
+                        }
+                        flush_thread();
+                    });
+                }
+            });
+            let after = snapshot();
+            let now_c = after.iter().find(|s| s.name == "test.obs.merge.counter").unwrap().value;
+            let now_h = after
+                .iter()
+                .find(|s| s.name == "test.obs.merge.hist")
+                .unwrap()
+                .hist
+                .clone()
+                .unwrap();
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for (i, b) in buckets.iter_mut().enumerate() {
+                *b = now_h.buckets[i] - base_h.buckets[i];
+            }
+            (
+                now_c - base_c,
+                HistSnap {
+                    buckets,
+                    count: now_h.count - base_h.count,
+                    sum: now_h.sum - base_h.sum,
+                },
+            )
+        };
+        let vals: Vec<u64> = (0..64).map(|i| i * 37 % 101).collect();
+        let one = run(&[&vals]);
+        let four = run(&[&vals[0..16], &vals[16..32], &vals[32..48], &vals[48..64]]);
+        if cfg!(feature = "noop") {
+            return;
+        }
+        assert_eq!(one, four, "sharded merge must not depend on thread partitioning");
+    }
+}

@@ -1,0 +1,103 @@
+//! Rendering captured spans as Chrome trace events and splicing them into
+//! the simulator's existing Perfetto/chrome-tracing export, so one
+//! timeline shows compiler passes (pid 3, microseconds) next to circuit
+//! activity and memory slices (pids 1–2, cycles).
+
+use crate::span::SpanRec;
+
+/// Process id used for compiler span events; the simulator export owns
+/// pids 1 (circuit) and 2 (memory).
+pub const COMPILER_PID: u32 = 3;
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `spans` as a comma-separated fragment of chrome trace events
+/// (no enclosing brackets): two metadata events naming the compiler
+/// process/track, then one complete ("X") event per span. Depth maps to
+/// tid so nested spans stack as separate tracks.
+pub fn spans_to_chrome_events(spans: &[SpanRec]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{COMPILER_PID},\"args\":{{\"name\":\"compiler (us)\"}}}}"
+    ));
+    let max_depth = spans.iter().map(|sp| sp.depth).max().unwrap_or(0);
+    for d in 0..=max_depth {
+        s.push_str(&format!(
+            ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{COMPILER_PID},\"tid\":{},\"args\":{{\"name\":\"depth {d}\"}}}}",
+            d + 1
+        ));
+    }
+    for sp in spans {
+        s.push_str(&format!(
+            ",{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{COMPILER_PID},\"tid\":{},\"ts\":{},\"dur\":{}}}",
+            escape(sp.name),
+            sp.depth + 1,
+            sp.start_us,
+            sp.dur_us.max(1)
+        ));
+    }
+    s
+}
+
+/// Splices compiler span events into a simulator chrome-trace JSON
+/// string (as produced by `ashsim`'s `Trace::to_chrome_json`). The sim
+/// JSON is passed through byte-for-byte apart from the inserted events,
+/// so the simulator slices are untouched. Returns the sim JSON unchanged
+/// when `spans` is empty or the input doesn't look like a chrome trace.
+pub fn merge_chrome_trace(sim_json: &str, spans: &[SpanRec]) -> String {
+    const HEAD: &str = "{\"traceEvents\":[";
+    if spans.is_empty() {
+        return sim_json.to_string();
+    }
+    let Some(rest) = sim_json.strip_prefix(HEAD) else {
+        return sim_json.to_string();
+    };
+    let events = spans_to_chrome_events(spans);
+    let sep = if rest.starts_with(']') { "" } else { "," };
+    format!("{HEAD}{events}{sep}{rest}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans() -> Vec<SpanRec> {
+        vec![
+            SpanRec { name: "compile", depth: 0, start_us: 0, dur_us: 100 },
+            SpanRec { name: "opt.dce", depth: 1, start_us: 10, dur_us: 20 },
+        ]
+    }
+
+    #[test]
+    fn merge_inserts_compiler_process_before_sim_events() {
+        let sim = "{\"traceEvents\":[{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"circuit\"}}],\"displayTimeUnit\":\"ns\",\"otherData\":{\"schema\":\"cash-trace-v1\"}}";
+        let merged = merge_chrome_trace(sim, &spans());
+        assert!(merged.contains("\"name\":\"compiler (us)\""));
+        assert!(merged.contains("\"name\":\"opt.dce\""));
+        assert!(merged.contains("\"name\":\"circuit\""));
+        assert!(merged.ends_with("\"cash-trace-v1\"}}"));
+        // Still exactly one traceEvents array.
+        assert_eq!(merged.matches("\"traceEvents\"").count(), 1);
+    }
+
+    #[test]
+    fn merge_is_identity_for_empty_spans_or_foreign_input() {
+        let sim = "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\",\"otherData\":{\"schema\":\"cash-trace-v1\"}}";
+        assert_eq!(merge_chrome_trace(sim, &[]), sim);
+        assert_eq!(merge_chrome_trace("not a trace", &spans()), "not a trace");
+        // Empty sim event list still merges cleanly (no trailing comma).
+        let merged = merge_chrome_trace(sim, &spans());
+        assert!(merged.contains("\"dur\":20}],\"displayTimeUnit\""), "{merged}");
+    }
+}

@@ -1,0 +1,81 @@
+//! Line-oriented JSONL sink for live sweeps.
+//!
+//! When `CASH_STATS_STREAM` names a file, every `cash-stats-v1` record
+//! the bench harness prints is also appended there (one JSON object per
+//! line, flushed per line), so `cashtop` can tail the file while a sweep
+//! is still running. Unset, [`emit`] is a no-op. The sink resolves once
+//! per process; [`redirect`] points it elsewhere explicitly (bins,
+//! tests).
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+struct Sink {
+    file: Mutex<Option<File>>,
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let file = std::env::var("CASH_STATS_STREAM")
+            .ok()
+            .filter(|p| !p.is_empty())
+            .and_then(|p| OpenOptions::new().create(true).append(true).open(p).ok());
+        Sink { file: Mutex::new(file) }
+    })
+}
+
+/// Is a stream sink currently open?
+pub fn active() -> bool {
+    sink().file.lock().map(|f| f.is_some()).unwrap_or(false)
+}
+
+/// Points the sink at `path` (append mode), or closes it with `None`.
+/// Overrides whatever `CASH_STATS_STREAM` resolved to.
+pub fn redirect(path: Option<&Path>) {
+    let file = path.and_then(|p| OpenOptions::new().create(true).append(true).open(p).ok());
+    if let Ok(mut slot) = sink().file.lock() {
+        *slot = file;
+    }
+}
+
+/// Appends `line` (plus a newline) to the sink and flushes, if one is
+/// open. Errors close the sink silently — telemetry must never take the
+/// pipeline down.
+pub fn emit(line: &str) {
+    let Ok(mut slot) = sink().file.lock() else {
+        return;
+    };
+    if let Some(f) = slot.as_mut() {
+        let ok =
+            f.write_all(line.as_bytes()).and_then(|_| f.write_all(b"\n")).and_then(|_| f.flush());
+        if ok.is_err() {
+            *slot = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirect_emit_roundtrip() {
+        let dir = std::env::temp_dir().join("obs-stream-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("s{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        redirect(Some(&path));
+        assert!(active());
+        emit("{\"a\":1}");
+        emit("{\"b\":2}");
+        redirect(None);
+        assert!(!active());
+        emit("{\"dropped\":3}");
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(got, "{\"a\":1}\n{\"b\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -371,10 +371,34 @@ pub fn lint_config(cfg: &OptConfig) -> lint::LintConfig {
     lint::LintConfig { dead_code: cfg.dead, ..lint::LintConfig::default() }
 }
 
+/// The observability span name for a pass invocation. Pass names form a
+/// closed set, so the `opt.` prefix of the span taxonomy can be applied
+/// statically.
+fn span_name(pass: &'static str) -> &'static str {
+    match pass {
+        "scalar" => "opt.scalar",
+        "immutable" => "opt.immutable",
+        "token_removal" => "opt.token_removal",
+        "load_store" => "opt.load_store",
+        "store_store" => "opt.store_store",
+        "merge_ops" => "opt.merge_ops",
+        "dead_mem" => "opt.dead_mem",
+        "loop_invariant" => "opt.loop_invariant",
+        "pipeline" => "opt.pipeline",
+        "prune_dead" => "opt.prune_dead",
+        _ => "opt.pass",
+    }
+}
+
 /// Times one pass invocation and records its graph-shape delta. When the
 /// invocation budget is exhausted the pass is skipped entirely (no stat is
 /// recorded), so a prefix-limited run performs exactly the first
 /// `pass_limit` invocations of the full pipeline and nothing else.
+///
+/// The invocation runs under an `obs` span (always timed — the span clock
+/// is the source of `PassStat::wall_micros`), feeds the shared metrics
+/// registry, and leaves a flight-recorder note so crash reports show which
+/// passes ran last.
 ///
 /// Under `debug_assertions`, every invocation is followed by the full
 /// structural verifier and the static lint; any finding is a hard error
@@ -394,9 +418,12 @@ fn timed(
     let nodes = g.live_count();
     let edges = g.count_edges();
     let token_edges = g.count_token_edges();
-    let t0 = std::time::Instant::now();
+    let sp = obs::span::enter(span_name(name));
     let rewrites = f(g);
-    let wall_micros = t0.elapsed().as_micros() as u64;
+    let wall_micros = sp.end_us();
+    obs::flight::note("opt.pass", name, rewrites as i64, round.map_or(-1, |r| r as i64));
+    obs::metrics::histogram("opt.pass.us").observe(wall_micros);
+    obs::metrics::counter("opt.rewrites").add(rewrites as u64);
     if ctl.sabotage == Some(name) {
         ctl.sabotage = None;
         ctl.sabotaged = true;
@@ -513,6 +540,7 @@ fn flip_first_add(g: &mut Graph) {
 
 /// Runs the configured pipeline over `g`.
 pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> OptReport {
+    let _sp = obs::span::enter("opt");
     let mut report = OptReport { static_before: g.count_memory_ops(), ..OptReport::default() };
     let mut ctl = Ctl {
         passes: Vec::new(),
@@ -615,9 +643,12 @@ pub fn optimize(g: &mut Graph, oracle: &AliasOracle<'_>, cfg: &OptConfig) -> Opt
     // static layer thinks of the graph it is about to hand to simulation
     // (a sabotaged run keeps its findings — that is the point).
     if cfg.lint {
-        let t0 = std::time::Instant::now();
+        let sp = obs::span::enter("lint.final");
         let diags = lint::lint(g, oracle, &lint_config(cfg));
-        report.lint = lint::LintReport { diags, micros: t0.elapsed().as_micros() as u64 };
+        let micros = sp.end_us();
+        obs::flight::note("lint.final", "diags", diags.len() as i64, micros as i64);
+        obs::metrics::histogram("lint.us").observe(micros);
+        report.lint = lint::LintReport { diags, micros };
     }
     report
 }

@@ -131,9 +131,23 @@ fn run_oracle(src: &str, args: &[i64], fuel: u64) -> Result<Observed, String> {
     Ok((out.ret, out.machine.image().to_vec()))
 }
 
+/// Appends the flight-recorder tail to a failure description, so oracle
+/// mismatches and lint rejections carry their last-N-events context (which
+/// passes ran, what the simulator last did) without re-running anything.
+fn with_flight_tail(mut detail: String) -> String {
+    let tail = obs::flight::dump();
+    if !tail.is_empty() {
+        detail.push('\n');
+        detail.push_str(tail.trim_end());
+    }
+    detail
+}
+
 /// Checks `src` against the oracle at every configured level; bisects the
 /// first failure to a pass invocation.
 pub fn diff_source(src: &str, args: &[i64], opts: &DiffOptions) -> DiffOutcome {
+    let _sp = obs::span::enter("oracle.diff");
+    obs::metrics::counter("oracle.checks").inc();
     let oracle = match run_oracle(src, args, opts.fuel) {
         Ok(o) => o,
         Err(e) => return DiffOutcome::OracleError(e),
@@ -153,6 +167,9 @@ pub fn diff_source(src: &str, args: &[i64], opts: &DiffOptions) -> DiffOutcome {
                     } else {
                         format!("static lint: {}", diags[0])
                     };
+                    obs::metrics::counter("oracle.fails").inc();
+                    obs::flight::note("oracle.fail", "static_lint", diags.len() as i64, 0);
+                    let detail = with_flight_tail(detail);
                     let pass = bisect_static(src, level, opts, &program);
                     return DiffOutcome::Fail(Failure { level, detail, pass });
                 }
@@ -167,6 +184,9 @@ pub fn diff_source(src: &str, args: &[i64], opts: &DiffOptions) -> DiffOutcome {
             },
             Err(e) => e.clone(),
         };
+        obs::metrics::counter("oracle.fails").inc();
+        obs::flight::note("oracle.fail", "mismatch", 0, 0);
+        let detail = with_flight_tail(detail);
         let pass = bisect(src, args, level, opts, &oracle);
         return DiffOutcome::Fail(Failure { level, detail, pass });
     }

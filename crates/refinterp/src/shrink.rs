@@ -312,7 +312,14 @@ fn write_reproducer(rep: &Reproducer, dir: &Path) -> std::io::Result<PathBuf> {
          // first offending pass: {}\n\
          // mismatch: {}\n\
          // re-run: refinterp::harness::diff_source(<this file>, &{:?}, &DiffOptions::default())\n",
-        rep.seed, rep.args, rep.level, pass, rep.detail, rep.args
+        rep.seed,
+        rep.args,
+        rep.level,
+        pass,
+        // The detail may span lines (it carries the flight-recorder tail);
+        // keep every line commented so the file stays valid MiniC.
+        rep.detail.replace('\n', "\n// "),
+        rep.args
     );
     let src = crate::gen::render(&rep.reduced);
     std::fs::write(&path, format!("{header}{src}"))?;

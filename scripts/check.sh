@@ -24,10 +24,21 @@ cargo fmt --all -- "${FMT_ARGS[@]+"${FMT_ARGS[@]}"}"
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Blocking: the observability runtime must be close to free. The smoke
+# interleaves recording-on and recording-off runs of the perf_smoke
+# kernels in one process and gates on the min-of-k wall-time delta.
+echo "==> obs overhead smoke (blocking, <3% budget)"
+./target/release/obs_smoke
+
 # Non-blocking: surface simulator throughput in the log so hot-path
 # regressions are visible at review time without gating on machine speed.
 echo "==> perf smoke (informational)"
 ./target/release/perf_smoke || echo "perf smoke failed (non-blocking)"
+
+# Non-blocking: export the merged compiler+simulator Perfetto timeline
+# for a Figure 19 kernel (CI uploads target/obs/ as an artifact).
+echo "==> cashtrace merged Perfetto trace (informational)"
+./target/release/cashtrace || echo "cashtrace failed (non-blocking)"
 
 # Non-blocking: regenerate the BENCH telemetry in target/bench-fresh and
 # diff it against the committed files at a ±10% sim.cycles threshold, so a
@@ -42,7 +53,7 @@ mkdir -p target/bench-fresh
     || echo "bench regeneration failed (non-blocking)"
 for f in BENCH_fig18.json BENCH_fig19.json; do
     if [[ -f "$f" && -f "target/bench-fresh/$f" ]]; then
-        ./target/release/bench_diff "$f" "target/bench-fresh/$f" --threshold 10 \
+        ./target/release/bench_diff "$f" "target/bench-fresh/$f" --threshold 10 --wall \
             || echo "bench_diff: $f regressed past +/-10% (non-blocking)"
     fi
 done

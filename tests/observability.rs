@@ -150,9 +150,15 @@ fn telemetry_shares_one_json_schema() {
         system: "perfect",
         opt: &p.report,
         sim: &r,
+        spans: &p.spans,
     };
     let line = rec.to_json();
     assert!(line.starts_with("{\"schema\":\"cash-stats-v1\""));
+    // PR 6's compiler span tree is the newest additive section: the whole
+    // pipeline appears as compact rows, frontend before opt passes.
+    assert!(line.contains("\"spans\":[[\"frontend.parse\","), "span rows in the record: {line}");
+    assert!(line.contains("[\"opt\","), "optimizer span in the record");
+    assert!(line.contains("[\"compile\",0,"), "root span at depth 0");
     assert!(line.contains("\"passes\":[{\"pass\":\"scalar\""));
     assert!(line.contains("\"sim\":{\"ret\":6"));
     // PR 1's stall-cause totals now ride along in the sim section, and the
@@ -269,9 +275,38 @@ fn deadlock_reports_blocked_nodes_and_missing_inputs() {
     assert!(msg.contains("waiting on"), "{msg}");
     assert!(msg.contains("(ret hb0)"), "blocked nodes carry kind + hyperblock: {msg}");
 
-    // `diagnose` adds FIFO depths on top of the same report.
+    // `diagnose` adds FIFO depths and the flight-recorder tail — the last
+    // firings before the stall, cycle-stamped — on top of the same report.
     let mut machine = ashsim::Machine::new(&module, ashsim::MemSystem::Perfect { latency: 2 });
     let (e2, dump) = ashsim::diagnose(&g, &mut machine, &[], &SimConfig::perfect()).unwrap_err();
     assert_eq!(e2, err);
     assert!(dump.contains("fifo lens"), "{dump}");
+    assert!(dump.contains("recent firings"), "firing tail in the dump: {dump}");
+    assert!(dump.contains("cycle "), "firings carry cycle stamps: {dump}");
+    assert!(dump.contains("[load]"), "firings carry node kinds: {dump}");
+}
+
+/// One merged Perfetto timeline shows the compiler (per-pass spans in
+/// microseconds) and the simulated circuit (slices in cycles) for a
+/// Figure 19 kernel — the PR 6 acceptance artifact.
+#[test]
+fn merged_trace_shows_compiler_and_simulator_on_one_timeline() {
+    let w = workloads::by_name("g721_e").expect("fig19 kernel present");
+    let p = w.compile(OptLevel::Full).unwrap();
+    let cfg = SimConfig { profile: true, trace: true, ..SimConfig::perfect() };
+    let r = p.simulate(&[8], &cfg).unwrap();
+    let merged = p.merged_trace_json(r.trace.as_ref().expect("tracing enabled"));
+
+    // Still one well-formed chrome trace...
+    assert!(merged.starts_with("{\"traceEvents\":["));
+    assert_eq!(merged.matches("\"traceEvents\"").count(), 1);
+    // ...with the compiler's process track and its per-stage spans...
+    assert!(merged.contains("\"name\":\"compiler (us)\""), "compiler track named");
+    assert!(merged.contains("\"name\":\"compile\""), "root compile span present");
+    assert!(merged.contains("\"name\":\"frontend.parse\""), "frontend spans present");
+    let pass_spans = p.spans.iter().filter(|s| s.name.starts_with("opt.")).count();
+    assert!(pass_spans > 0, "per-pass optimizer spans captured: {:?}", p.spans);
+    // ...next to the simulator's firing slices on the same timeline.
+    assert!(merged.contains("\"cat\":\"fire\""), "simulator slices survive the merge");
+    assert!(merged.contains("\"ph\":\"C\""), "LSQ counter track survives the merge");
 }
