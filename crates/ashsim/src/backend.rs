@@ -1,0 +1,147 @@
+//! The simulator backend seam: one trait, two observationally identical
+//! implementations.
+//!
+//! - [`EventBackend`] is the original interpreter in [`crate::exec`]: it
+//!   walks the `Graph` per firing and schedules through the calendar
+//!   event queue.
+//! - [`CompiledBackend`] first lowers the graph to a flat opcode program
+//!   ([`crate::compile`]) and executes that ([`crate::waves`]): same
+//!   scheduling discipline, no graph in the hot loop.
+//!
+//! Both backends must produce **bit-identical** results — return value,
+//! cycle/firing counts, final memory, profiles, traces and critical
+//! paths — for every program (`tests/backend_equiv.rs` enforces this).
+//! The selection is therefore purely a wall-time trade and is safe to
+//! flip per process via `CASH_BACKEND`.
+
+use crate::exec::{SimConfig, SimError, SimResult};
+use crate::memory::Machine;
+use pegasus::Graph;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Which simulator implementation runs a circuit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The event-driven interpreter (default).
+    #[default]
+    Event,
+    /// The lowered-bytecode executor.
+    Compiled,
+}
+
+impl BackendKind {
+    /// Stable lowercase label, also the `cash-stats-v1` `"backend"` value.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Event => "event",
+            BackendKind::Compiled => "compiled",
+        }
+    }
+
+    /// The process-wide default from `CASH_BACKEND` (`event` or
+    /// `compiled`; unset or empty means `event`). Read once and cached:
+    /// every `SimConfig::default()` consults this, and the env cannot
+    /// meaningfully change mid-process.
+    pub fn from_env() -> BackendKind {
+        static CACHED: OnceLock<BackendKind> = OnceLock::new();
+        *CACHED.get_or_init(|| match std::env::var("CASH_BACKEND").as_deref() {
+            Ok("compiled") => BackendKind::Compiled,
+            Ok("event") | Ok("") | Err(_) => BackendKind::Event,
+            Ok(other) => {
+                eprintln!("CASH_BACKEND={other:?} is not a backend (event|compiled); using event");
+                BackendKind::Event
+            }
+        })
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "event" => Ok(BackendKind::Event),
+            "compiled" => Ok(BackendKind::Compiled),
+            other => Err(format!("unknown backend {other:?} (expected event|compiled)")),
+        }
+    }
+}
+
+/// One simulator implementation. The contract every implementation must
+/// honor: identical observable outcomes for identical inputs (the whole
+/// [`SimResult`], not just the return value), because the differential
+/// test tier compares backends byte-for-byte.
+pub trait SimBackend {
+    /// The backend's stable label (matches [`BackendKind::label`]).
+    fn name(&self) -> &'static str;
+
+    /// Runs `graph` on `machine`. Raw entry point: the caller (normally
+    /// [`crate::simulate`]) wraps it with telemetry and stamps wall time.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    fn run(
+        &self,
+        graph: &Graph,
+        machine: &mut Machine,
+        args: &[i64],
+        config: &SimConfig,
+    ) -> Result<SimResult, SimError>;
+}
+
+/// The event-driven interpreter (see [`crate::exec`]).
+pub struct EventBackend;
+
+impl SimBackend for EventBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Event.label()
+    }
+
+    fn run(
+        &self,
+        graph: &Graph,
+        machine: &mut Machine,
+        args: &[i64],
+        config: &SimConfig,
+    ) -> Result<SimResult, SimError> {
+        crate::exec::run_event(graph, machine, args, config)
+    }
+}
+
+/// The lowered-bytecode executor (see [`crate::compile`] and
+/// [`crate::waves`]). Lowers on every call; use [`crate::BatchRunner`] to
+/// amortize lowering over a sweep.
+pub struct CompiledBackend;
+
+impl SimBackend for CompiledBackend {
+    fn name(&self) -> &'static str {
+        BackendKind::Compiled.label()
+    }
+
+    fn run(
+        &self,
+        graph: &Graph,
+        machine: &mut Machine,
+        args: &[i64],
+        config: &SimConfig,
+    ) -> Result<SimResult, SimError> {
+        let prog = crate::compile::LoweredProgram::lower(graph);
+        crate::waves::run_lowered(&prog, graph, machine, args, config)
+    }
+}
+
+/// The shared backend instance for `kind` (both are zero-sized).
+pub fn backend_for(kind: BackendKind) -> &'static dyn SimBackend {
+    match kind {
+        BackendKind::Event => &EventBackend,
+        BackendKind::Compiled => &CompiledBackend,
+    }
+}

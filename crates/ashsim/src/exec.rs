@@ -13,14 +13,15 @@
 //! delivers values in order, merges pop in global arrival order, and
 //! run-time constants are modeled as always-available *sticky* sources.
 
+use crate::backend::{backend_for, BackendKind};
 use crate::critpath::{self, CritState, CritSummary, EdgeClass, NO_REC};
 use crate::memory::{Machine, MemStats, MemSystem};
 use crate::profile::{kind_label, NodeProfile, SimProfile, StallCause};
+use crate::sched::{Ev, EventQueue, MemRequest, PendingOut, PortFifos, TokenGenState, RECENT_CAP};
 use crate::trace::{Trace, TraceEvent};
 use cfgir::types::{BinOp, Type};
 use pegasus::{FlatPorts, Graph, NodeId, NodeKind, Src, VClass};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Simulation parameters.
@@ -47,6 +48,11 @@ pub struct SimConfig {
     /// record per firing stage and a slab mirroring the channel FIFOs;
     /// the uninstrumented path pays only a branch.
     pub critpath: bool,
+    /// Which simulator backend executes the circuit. Defaults to the
+    /// `CASH_BACKEND` environment variable (`event` when unset); both
+    /// backends are observationally identical (see `tests/backend_equiv`),
+    /// so this only trades simulation wall time.
+    pub backend: BackendKind,
 }
 
 impl Default for SimConfig {
@@ -60,6 +66,7 @@ impl Default for SimConfig {
             profile: false,
             trace: false,
             critpath: false,
+            backend: BackendKind::from_env(),
         }
     }
 }
@@ -80,6 +87,13 @@ impl SimConfig {
     /// This configuration with critical-path recording enabled.
     pub fn with_critpath(mut self, critpath: bool) -> Self {
         self.critpath = critpath;
+        self
+    }
+
+    /// This configuration pinned to a specific backend (ignoring
+    /// `CASH_BACKEND`) — differential tests and goldens use this.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -104,6 +118,8 @@ pub struct SimResult {
     /// Wall-clock time the simulation took, microseconds (the simulator's
     /// own cost, not the simulated circuit's — mirrors `opt.us`).
     pub wall_us: u64,
+    /// Which backend produced this result (`"event"` or `"compiled"`).
+    pub backend: &'static str,
     /// Per-node firing/stall profile ([`SimConfig::profile`]).
     pub profile: Option<SimProfile>,
     /// Recorded event stream ([`SimConfig::trace`]).
@@ -120,13 +136,14 @@ impl SimResult {
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let mut s = format!(
-            "{{\"ret\":{},\"cycles\":{},\"fired\":{},\"deferrals\":{},\"us\":{},\"mem\":{}",
+            "{{\"ret\":{},\"cycles\":{},\"fired\":{},\"deferrals\":{},\"us\":{},\"mem\":{},\"backend\":\"{}\"",
             self.ret.map_or("null".to_string(), |v| v.to_string()),
             self.cycles,
             self.fired,
             self.deferrals,
             self.wall_us,
             self.stats.to_json(),
+            self.backend,
         );
         if let Some(p) = &self.profile {
             // Stall-cause totals across all nodes, same keys as the
@@ -234,7 +251,8 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Runs `graph` on `machine` with the given arguments.
+/// Runs `graph` on `machine` with the given arguments, dispatching to the
+/// backend selected in `config` (see [`BackendKind`]).
 ///
 /// # Errors
 ///
@@ -245,8 +263,17 @@ pub fn simulate(
     args: &[i64],
     config: &SimConfig,
 ) -> Result<SimResult, SimError> {
+    observe(|| backend_for(config.backend).run(graph, machine, args, config))
+}
+
+/// Wraps one raw backend run with the shared telemetry (span, metrics,
+/// flight note) and stamps the wall time. Every public simulation entry
+/// point funnels through here so both backends report identically.
+pub(crate) fn observe(
+    run: impl FnOnce() -> Result<SimResult, SimError>,
+) -> Result<SimResult, SimError> {
     let sp = obs::span::enter("sim.run");
-    let out = Executor::new(graph, machine, args, config).and_then(Executor::run);
+    let out = run();
     let wall_us = sp.end_us();
     obs::metrics::histogram("sim.us").observe(wall_us);
     match out {
@@ -264,6 +291,17 @@ pub fn simulate(
             Err(e)
         }
     }
+}
+
+/// The event backend's raw entry point: no telemetry wrapper, no wall-time
+/// stamp (see [`observe`]).
+pub(crate) fn run_event(
+    graph: &Graph,
+    machine: &mut Machine,
+    args: &[i64],
+    config: &SimConfig,
+) -> Result<SimResult, SimError> {
+    Executor::new(graph, machine, args, config).and_then(Executor::run)
 }
 
 /// Diagnostic: runs the graph and, on failure, returns a textual dump of
@@ -318,59 +356,6 @@ pub fn diagnose(
         }
     }
 }
-
-#[derive(Debug, Clone, Copy)]
-enum Ev {
-    /// Deliver `value` from output `(node, port)` to all its consumers.
-    /// `fire` is the producing firing's critical-path record (`NO_REC`
-    /// when recording is off).
-    Deliver { node: NodeId, port: u16, value: i64, fire: u32 },
-    /// An LSQ slot frees up (`level`: hierarchy depth the access reached,
-    /// for the memory timeline).
-    LsqRelease { level: u8 },
-}
-
-#[derive(Debug, Clone, Copy)]
-struct MemRequest {
-    node: NodeId,
-    addr: u64,
-    value: i64, // store data
-    is_store: bool,
-    /// Cycle the request entered the LSQ queue (for port-stall profiling).
-    enqueued: u64,
-    /// The firing's critical-path record (`NO_REC` when recording is off).
-    fire: u32,
-}
-
-/// One outstanding output slot of a memory node (see `Executor::mem_out`).
-#[derive(Debug, Clone, Copy)]
-enum PendingOut {
-    /// A queued LSQ request will fill this slot when it issues.
-    Real,
-    /// A nullified firing's instant value (and its critical-path record),
-    /// blocked behind a `Real` slot.
-    Null(i64, u32),
-}
-
-#[derive(Clone)]
-struct TokenGenState {
-    credits: u64,
-    /// Predicates seen but not yet granted, in arrival order. `true`
-    /// entries need a credit; `false` entries (the loop's exit wave, whose
-    /// operations are nullified) are granted for free so the consumer ring
-    /// can drain — the paper's counter reset plays the same role for its
-    /// fully-serialized loop model.
-    queue: VecDeque<bool>,
-    /// Last absorbed input's `(arrival, record, class)` for critical-path
-    /// attribution: a grant enabled purely by previously banked credits
-    /// still chains to the most recent absorb instead of becoming a path
-    /// root (an approximation — the credit that paid for the grant may be
-    /// older).
-    last_arrival: Option<(u64, u32, u8)>,
-}
-
-/// Capacity of the executor's always-on recent-firings ring.
-const RECENT_CAP: usize = 64;
 
 struct Executor<'a> {
     g: &'a Graph,
@@ -437,238 +422,6 @@ struct Executor<'a> {
     /// capacity when recording is off, so the uninstrumented executor
     /// allocates nothing for it.
     crit: CritState,
-}
-
-/// Orderable wrapper so the overflow heap can hold events (events are not
-/// `Ord`; ties are broken by the sequence number next to it).
-#[derive(Debug, Clone, Copy)]
-struct EvBox(Ev);
-
-impl PartialEq for EvBox {
-    fn eq(&self, _: &Self) -> bool {
-        true
-    }
-}
-impl Eq for EvBox {}
-impl PartialOrd for EvBox {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EvBox {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
-    }
-}
-
-/// Every channel FIFO, in one contiguous slab: port `p` owns the slot
-/// range `[p·cap, (p+1)·cap)` as a circular buffer. The reservation
-/// discipline bounds every channel at `channel_capacity` entries, so
-/// fixed-size slots suffice and the delivery path never allocates; one
-/// slab replaces a heap block per port.
-struct PortFifos {
-    cap: usize,
-    slots: Vec<(u64, i64)>,
-    head: Vec<u32>,
-    len: Vec<u32>,
-}
-
-impl PortFifos {
-    fn new(num_ports: usize, cap: usize) -> PortFifos {
-        PortFifos {
-            cap,
-            slots: vec![(0, 0); num_ports * cap],
-            head: vec![0; num_ports],
-            len: vec![0; num_ports],
-        }
-    }
-
-    #[inline]
-    fn is_empty(&self, p: usize) -> bool {
-        self.len[p] == 0
-    }
-
-    #[inline]
-    fn len(&self, p: usize) -> usize {
-        self.len[p] as usize
-    }
-
-    #[inline]
-    fn front(&self, p: usize) -> Option<(u64, i64)> {
-        if self.len[p] == 0 {
-            None
-        } else {
-            Some(self.slots[p * self.cap + self.head[p] as usize])
-        }
-    }
-
-    /// Pushes `entry` and returns the flat slot index it landed in, so the
-    /// critical-path recorder can mirror the ring without duplicating its
-    /// head/len state (ring offsets use a conditional subtract, not `%`:
-    /// `cap` is a run-time value, so a modulo here is a hardware divide on
-    /// the hottest path).
-    #[inline]
-    fn push_back(&mut self, p: usize, entry: (u64, i64)) -> usize {
-        let len = self.len[p] as usize;
-        debug_assert!(len < self.cap, "channel over capacity: reservation discipline broken");
-        let mut off = self.head[p] as usize + len;
-        if off >= self.cap {
-            off -= self.cap;
-        }
-        let at = p * self.cap + off;
-        self.slots[at] = entry;
-        self.len[p] += 1;
-        at
-    }
-
-    /// Pops the oldest entry with the flat slot index it came from (see
-    /// [`Self::push_back`]).
-    #[inline]
-    fn pop_front(&mut self, p: usize) -> Option<((u64, i64), usize)> {
-        if self.len[p] == 0 {
-            return None;
-        }
-        let head = self.head[p] as usize;
-        let at = p * self.cap + head;
-        let next = head + 1;
-        self.head[p] = (if next == self.cap { 0 } else { next }) as u32;
-        self.len[p] -= 1;
-        Some((self.slots[at], at))
-    }
-}
-
-/// Calendar-bucket ring size, in cycles. Covers every ALU latency and the
-/// realistic memory hierarchy's worst case (TLB miss + L1 + L2 + DRAM +
-/// word gaps ≈ 150 cycles); anything scheduled further out — e.g. a
-/// `Perfect { latency }` model with a huge latency — takes the overflow
-/// heap, which is correct at any horizon, just not O(1).
-const RING: u64 = 256;
-
-/// The simulator's event queue: a calendar of per-cycle buckets with a
-/// fallback binary heap for far-future events.
-///
-/// The previous implementation kept every pending delivery in one
-/// `BinaryHeap<Reverse<(cycle, seq, event)>>`: each push/pop paid
-/// `O(log n)` three-word comparisons and the sift traffic dominated the
-/// scheduler's profile. Almost all events land within a few cycles of
-/// `now` (ALU latencies of 1–20, cache hits of 2–8), so a ring of `RING`
-/// per-cycle `Vec` buckets makes push O(1) and pop a drain of the current
-/// bucket. Bucket `Vec`s and the `due` scratch buffer are recycled, so in
-/// steady state the queue performs no allocation at all.
-///
-/// Ordering contract (must match the old heap exactly): events are
-/// processed in `(cycle, seq)` order. Within a bucket, pushes happen in
-/// ascending `seq` order, so a bucket drain is already sorted; a sort is
-/// needed only on the rare cycle where the overflow heap contributes too.
-struct EventQueue {
-    /// `ring[t % RING]` holds `(t, seq, ev)` entries for cycle `t` (and,
-    /// transiently, for `t + k·RING` — filtered on drain).
-    ring: Vec<Vec<(u64, u64, Ev)>>,
-    /// Events scheduled `RING` or more cycles ahead.
-    overflow: BinaryHeap<Reverse<(u64, u64, EvBox)>>,
-    /// Entries currently in the ring (not counting `overflow`).
-    ring_len: usize,
-    /// Cycles `<= drained` have been fully delivered (modulo stragglers
-    /// pushed at `t == drained` after the drain, which the next call picks
-    /// up because the scan restarts at `drained`).
-    drained: u64,
-    /// Recycled buffer for [`Self::take_due`].
-    scratch: Vec<(u64, u64, Ev)>,
-}
-
-impl EventQueue {
-    fn new() -> EventQueue {
-        EventQueue {
-            ring: (0..RING).map(|_| Vec::new()).collect(),
-            overflow: BinaryHeap::new(),
-            ring_len: 0,
-            drained: 0,
-            scratch: Vec::new(),
-        }
-    }
-
-    /// Schedules `ev` at cycle `t` with tiebreaker `seq`. `t` must not lie
-    /// in the past (callers schedule at `now` or later).
-    fn push(&mut self, t: u64, seq: u64, ev: Ev) {
-        if t < self.drained + RING {
-            self.ring[(t % RING) as usize].push((t, seq, ev));
-            self.ring_len += 1;
-        } else {
-            self.overflow.push(Reverse((t, seq, EvBox(ev))));
-        }
-    }
-
-    /// Removes and returns every event scheduled at cycle `now` or
-    /// earlier, in `(cycle, seq)` order. The returned buffer must be
-    /// handed back via [`Self::recycle`] after processing.
-    fn take_due(&mut self, now: u64) -> Vec<(u64, u64, Ev)> {
-        let mut due = std::mem::take(&mut self.scratch);
-        let mut from_overflow = false;
-        while let Some(&Reverse((t, _, _))) = self.overflow.peek() {
-            if t > now {
-                break;
-            }
-            let Reverse((t, s, EvBox(ev))) = self.overflow.pop().expect("peeked");
-            due.push((t, s, ev));
-            from_overflow = true;
-        }
-        if self.ring_len > 0 {
-            for c in self.drained..=now {
-                let slot = &mut self.ring[(c % RING) as usize];
-                if slot.is_empty() {
-                    continue;
-                }
-                if slot.iter().all(|&(t, _, _)| t == c) {
-                    // Common case: the whole bucket is due; moving it out
-                    // keeps the bucket's capacity for reuse.
-                    self.ring_len -= slot.len();
-                    due.append(slot);
-                } else {
-                    // A wrapped entry (t = c + k·RING) shares the bucket:
-                    // extract only the due ones, preserving order.
-                    let before = slot.len();
-                    slot.retain(|&e| {
-                        if e.0 == c {
-                            due.push(e);
-                            false
-                        } else {
-                            true
-                        }
-                    });
-                    self.ring_len -= before - slot.len();
-                }
-            }
-        }
-        self.drained = now;
-        if from_overflow {
-            // Overflow events were prepended; restore global order.
-            due.sort_unstable_by_key(|&(t, s, _)| (t, s));
-        }
-        due
-    }
-
-    /// Returns the processed buffer from [`Self::take_due`] for reuse.
-    fn recycle(&mut self, mut due: Vec<(u64, u64, Ev)>) {
-        due.clear();
-        self.scratch = due;
-    }
-
-    /// The earliest scheduled cycle, if any events are pending.
-    fn next_time(&self) -> Option<u64> {
-        let mut best = self.overflow.peek().map(|&Reverse((t, _, _))| t);
-        if self.ring_len > 0 {
-            // Every ring entry has t in [drained, drained + RING), so the
-            // first cycle whose bucket holds a matching entry is the min.
-            for k in 0..RING {
-                let c = self.drained + k;
-                if self.ring[(c % RING) as usize].iter().any(|&(t, _, _)| t == c) {
-                    best = Some(best.map_or(c, |b| b.min(c)));
-                    break;
-                }
-            }
-        }
-        best
-    }
 }
 
 impl<'a> Executor<'a> {
@@ -1140,6 +893,7 @@ impl<'a> Executor<'a> {
             fired: self.fired,
             deferrals: self.deferrals,
             wall_us: 0, // stamped by the public entry points
+            backend: BackendKind::Event.label(),
             profile,
             trace,
             crit,
@@ -1681,7 +1435,7 @@ fn sticky_of(sticky: &[Option<i64>], src: Src) -> Option<i64> {
     }
 }
 
-fn alu_latency(op: BinOp) -> u64 {
+pub(crate) fn alu_latency(op: BinOp) -> u64 {
     match op {
         BinOp::Mul => 3,
         BinOp::Div | BinOp::Rem => 20,

@@ -39,17 +39,24 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod backend;
+pub mod compile;
 pub mod critpath;
 pub mod exec;
 pub mod memory;
 pub mod profile;
+mod sched;
 pub mod trace;
+pub mod waves;
 
+pub use backend::{backend_for, BackendKind, CompiledBackend, EventBackend, SimBackend};
+pub use compile::{InPortView, LoweredProgram, OpView};
 pub use critpath::{CritEdge, CritSummary, EdgeClass};
 pub use exec::{diagnose, simulate, BlockedNode, SimConfig, SimError, SimResult};
 pub use memory::{CacheParams, Machine, MemStats, MemSystem, MemTimeline};
 pub use profile::{kind_label, NodeProfile, SimProfile, StallCause};
 pub use trace::{Trace, TraceEvent};
+pub use waves::{simulate_lowered, BatchRunner};
 
 #[cfg(test)]
 mod tests {

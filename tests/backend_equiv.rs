@@ -1,0 +1,147 @@
+//! Differential backend equivalence: the compiled (lowered-bytecode)
+//! simulator must be *bit-identical* to the event-driven interpreter.
+//!
+//! The compiled backend's entire claim is "same semantics, less time":
+//! delivery sequence numbers arbitrate `Merge` nodes, so even a reordered
+//! worklist would change observable cycle counts. This tier runs the full
+//! kernel suite (all optimization levels, everything-on instrumentation)
+//! and a 300-program generated corpus through both backends and requires
+//! identical return values, cycle/firing/deferral counts, final memory
+//! images, and byte-identical `cash-stats-v1` sim records modulo the two
+//! provenance fields (`"us"` wall time and the `"backend"` label itself).
+
+use cash::{BackendKind, CacheParams, Compiler, MemSystem, OptLevel, Program, SimConfig};
+use refinterp::gen;
+
+/// Generated-program corpus size (seeds × two opt levels = 300 programs).
+const GEN_SEEDS: u64 = 150;
+
+/// Normalizes a `SimResult::to_json` record for cross-backend comparison:
+/// zeroes the wall-time field and blanks the backend label. Everything
+/// else — including profile stall totals and the critical-path summary —
+/// must match byte-for-byte.
+fn normalize(json: &str) -> String {
+    let mut s = json.replacen("\"backend\":\"event\"", "\"backend\":\"_\"", 1).replacen(
+        "\"backend\":\"compiled\"",
+        "\"backend\":\"_\"",
+        1,
+    );
+    if let Some(at) = s.find("\"us\":") {
+        let start = at + "\"us\":".len();
+        let end = start + s[start..].chars().take_while(char::is_ascii_digit).count();
+        s.replace_range(start..end, "0");
+    }
+    s
+}
+
+/// Runs `p` under both backends with `cfg` and asserts full observable
+/// equivalence. Returns the (shared) normalized record for context.
+fn assert_equiv(p: &Program, args: &[i64], cfg: &SimConfig, what: &str) {
+    let run = |backend: BackendKind| {
+        let cfg = cfg.clone().with_backend(backend);
+        let mut machine = p.machine(cfg.mem.clone());
+        let r = p
+            .simulate_on(&mut machine, args, &cfg)
+            .unwrap_or_else(|e| panic!("{what} [{backend:?}]: {e}"));
+        (r, machine.image().to_vec())
+    };
+    let (ev, ev_mem) = run(BackendKind::Event);
+    let (co, co_mem) = run(BackendKind::Compiled);
+    assert_eq!(ev.backend, "event", "{what}: event run must label itself");
+    assert_eq!(co.backend, "compiled", "{what}: compiled run must label itself");
+    assert_eq!(ev.ret, co.ret, "{what}: return value");
+    assert_eq!(ev.cycles, co.cycles, "{what}: completion cycle");
+    assert_eq!(ev.fired, co.fired, "{what}: firing count");
+    assert_eq!(ev.deferrals, co.deferrals, "{what}: deferral count");
+    assert_eq!(ev_mem, co_mem, "{what}: final memory image");
+    assert_eq!(
+        normalize(&ev.to_json()),
+        normalize(&co.to_json()),
+        "{what}: sim record must be byte-identical modulo us/backend"
+    );
+}
+
+/// Every suite kernel at every optimization level, with the heavyweight
+/// configuration (realistic memory hierarchy, stall profiling and
+/// critical-path recording all on) so the instrumented paths are
+/// differentially covered too.
+#[test]
+fn kernels_agree_across_backends_at_all_levels() {
+    let suite = workloads::suite();
+    assert!(suite.len() >= 16, "suite shrank to {}", suite.len());
+    let tasks: Vec<_> = suite
+        .into_iter()
+        .flat_map(|w| {
+            OptLevel::ALL.into_iter().map(move |level| (w.name, w.source, w.default_arg, level))
+        })
+        .collect();
+    cash::par::par_map(tasks, |(name, source, arg, level)| {
+        let p = Compiler::new()
+            .level(level)
+            .compile(source)
+            .unwrap_or_else(|e| panic!("{name} at {level}: {e}"));
+        let cfg =
+            SimConfig { mem: MemSystem::Hierarchy(CacheParams::default()), ..SimConfig::default() }
+                .with_observability(true, false)
+                .with_critpath(true);
+        assert_equiv(&p, &[arg], &cfg, &format!("{name} at {level}"));
+    });
+}
+
+/// 300 generated programs (150 seeds, unoptimized and fully optimized):
+/// loops, branches, memory traffic and degenerate shapes the kernel suite
+/// doesn't reach.
+#[test]
+fn generated_corpus_agrees_across_backends() {
+    let mut tasks = Vec::new();
+    for seed in 0..GEN_SEEDS {
+        for level in [OptLevel::None, OptLevel::Full] {
+            tasks.push((seed, level));
+        }
+    }
+    assert_eq!(tasks.len(), 300);
+    cash::par::par_map(tasks, |(seed, level)| {
+        let src = gen::render(&gen::gen(seed));
+        let p = Compiler::new()
+            .level(level)
+            .compile(&src)
+            .unwrap_or_else(|e| panic!("seed {seed} at {level}: {e}"));
+        let cfg = SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() };
+        assert_equiv(&p, &[(seed % 11) as i64], &cfg, &format!("gen{seed:03} at {level}"));
+    });
+}
+
+/// Batched runs (one lowering, many runs) are the same as per-run
+/// lowering, and the event path through a batch is untouched.
+#[test]
+fn batched_runs_match_individual_runs() {
+    let w = workloads::by_name("g721_e").expect("suite kernel");
+    let p = Compiler::new().compile(w.source).unwrap();
+    let batch = p.batch();
+    for backend in [BackendKind::Event, BackendKind::Compiled] {
+        for arg in [1i64, 4, w.default_arg] {
+            let cfg = SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() }
+                .with_backend(backend);
+            let single = p.simulate(&[arg], &cfg).unwrap();
+            let batched = batch.run(&[arg], &cfg).unwrap();
+            assert_eq!(single.ret, batched.ret, "{backend:?} arg={arg}");
+            assert_eq!(single.cycles, batched.cycles, "{backend:?} arg={arg}");
+            assert_eq!(single.fired, batched.fired, "{backend:?} arg={arg}");
+            assert_eq!(
+                normalize(&single.to_json()),
+                normalize(&batched.to_json()),
+                "{backend:?} arg={arg}"
+            );
+        }
+    }
+}
+
+/// Both backends report the same error on the same failing input.
+#[test]
+fn errors_agree_across_backends() {
+    let p = Compiler::new().compile("int main(int n) { return n + 1; }").unwrap();
+    let cfg = SimConfig { mem: MemSystem::Perfect { latency: 2 }, ..SimConfig::default() };
+    let ev = p.simulate(&[], &cfg.clone().with_backend(BackendKind::Event)).unwrap_err();
+    let co = p.simulate(&[], &cfg.with_backend(BackendKind::Compiled)).unwrap_err();
+    assert_eq!(format!("{ev}"), format!("{co}"));
+}
