@@ -129,6 +129,11 @@ pub struct CritSummary {
     pub edges: Vec<CritEdge>,
     /// Memory-system occupancy timeline of the same run.
     pub timeline: MemTimeline,
+    /// The path itself in forward (root → return) order: one `(node,
+    /// cycle)` entry per distinct-node visit. Omitted from
+    /// [`Self::to_json`] (it scales with the run length); consumed by the
+    /// `cashdbg` `crit` command to jump along the recorded path.
+    pub hops: Vec<(NodeId, u64)>,
 }
 
 impl CritSummary {
@@ -185,6 +190,7 @@ impl CritSummary {
 /// `parent[r]` points at the record of the event whose edge made `r` wait
 /// and `class[r]` labels that edge; `t[r]` is the event's cycle, so a path
 /// step contributes `t[r] - t[parent[r]]` cycles to `class[r]`.
+#[derive(Clone)]
 pub(crate) struct CritState {
     recs: Vec<Rec>,
     /// Channel slab, same geometry as `PortFifos`: one `(record, arrival
@@ -356,6 +362,7 @@ pub(crate) fn summarize(st: &CritState, g: &Graph) -> CritSummary {
             s.start = rec.t;
             s.node_counts[node] += 1;
             s.path_len += 1;
+            s.hops.push((NodeId(node as u32), rec.t));
             break;
         }
         let parent = st.recs[p as usize];
@@ -367,6 +374,7 @@ pub(crate) fn summarize(st: &CritState, g: &Graph) -> CritSummary {
             // (backpressure, LSQ, memory latency) refine the same visit.
             s.node_counts[node] += 1;
             s.path_len += 1;
+            s.hops.push((NodeId(node as u32), rec.t));
         }
         let e = edges.entry((pnode, node as u32, rec.class())).or_insert((0, 0));
         e.0 += dt;
@@ -390,6 +398,8 @@ pub(crate) fn summarize(st: &CritState, g: &Graph) -> CritSummary {
             .then(a.dst.cmp(&b.dst))
             .then((a.class as u8).cmp(&(b.class as u8)))
     });
+    // The backward walk pushed return-first; flip to root → return order.
+    s.hops.reverse();
     s
 }
 

@@ -19,6 +19,7 @@ use crate::memory::{Machine, MemStats, MemSystem};
 use crate::profile::{kind_label, NodeProfile, SimProfile, StallCause};
 use crate::sched::{Ev, EventQueue, MemRequest, PendingOut, PortFifos, TokenGenState, RECENT_CAP};
 use crate::trace::{Trace, TraceEvent};
+use crate::wavecap::{stall_code, Wave, WaveState};
 use cfgir::types::{BinOp, Type};
 use pegasus::{FlatPorts, Graph, NodeId, NodeKind, Src, VClass};
 use std::collections::VecDeque;
@@ -48,6 +49,12 @@ pub struct SimConfig {
     /// record per firing stage and a slab mirroring the channel FIFOs;
     /// the uninstrumented path pays only a branch.
     pub critpath: bool,
+    /// Capture per-signal waveforms — value changes, FIFO occupancy,
+    /// firings, predicate outcomes and stall transitions — into
+    /// [`SimResult::waves`] for VCD export and `cashdbg` replay. Memory
+    /// scales with total channel activity (comparable to `trace`); the
+    /// uninstrumented path pays only a branch per hook site.
+    pub waves: bool,
     /// Which simulator backend executes the circuit. Defaults to the
     /// `CASH_BACKEND` environment variable (`event` when unset); both
     /// backends are observationally identical (see `tests/backend_equiv`),
@@ -66,6 +73,7 @@ impl Default for SimConfig {
             profile: false,
             trace: false,
             critpath: false,
+            waves: false,
             backend: BackendKind::from_env(),
         }
     }
@@ -87,6 +95,12 @@ impl SimConfig {
     /// This configuration with critical-path recording enabled.
     pub fn with_critpath(mut self, critpath: bool) -> Self {
         self.critpath = critpath;
+        self
+    }
+
+    /// This configuration with waveform capture enabled.
+    pub fn with_waves(mut self, waves: bool) -> Self {
+        self.waves = waves;
         self
     }
 
@@ -126,6 +140,8 @@ pub struct SimResult {
     pub trace: Option<Trace>,
     /// Aggregated dynamic critical path ([`SimConfig::critpath`]).
     pub crit: Option<CritSummary>,
+    /// Captured waveforms ([`SimConfig::waves`]).
+    pub waves: Option<Wave>,
 }
 
 impl SimResult {
@@ -164,6 +180,9 @@ impl SimResult {
         }
         if let Some(c) = &self.crit {
             let _ = write!(s, ",\"crit\":{}", c.to_json());
+        }
+        if let Some(w) = &self.waves {
+            let _ = write!(s, ",\"waves\":{}", w.summary_json());
         }
         s.push('}');
         s
@@ -351,13 +370,20 @@ pub fn diagnose(
                         crate::profile::kind_label(ex.g.kind(id))
                     );
                 }
+                // With waveform capture on, show what actually moved on the
+                // blocked nodes' input signals in the last 32 cycles —
+                // usually enough to see which producer went quiet.
+                if ex.waves_on {
+                    let blocked: Vec<NodeId> = ex.blocked_nodes().iter().map(|b| b.node).collect();
+                    s.push_str(&ex.wave.wave().tail_report(ex.g, &ex.flat, &blocked, ex.now, 32));
+                }
                 break Err((e, s));
             }
         }
     }
 }
 
-struct Executor<'a> {
+pub(crate) struct Executor<'a> {
     g: &'a Graph,
     /// Dense port ids + CSR consumer adjacency (see [`pegasus::flat`]):
     /// the hot loop never walks `Graph`'s per-node `Vec`s.
@@ -422,10 +448,57 @@ struct Executor<'a> {
     /// capacity when recording is off, so the uninstrumented executor
     /// allocates nothing for it.
     crit: CritState,
+    /// Is waveform capture on? Gates every `wave` access, same discipline
+    /// as `crit_on`.
+    waves_on: bool,
+    /// Waveform recorder (zero capacity when off).
+    wave: WaveState,
+}
+
+/// A deterministic checkpoint of an [`Executor`]'s complete run-time
+/// state, including the memory image — everything that evolves during a
+/// run. Taken every K cycles by the replay driver ([`crate::replay`]);
+/// restoring one onto a fresh executor for the same (graph, args, config)
+/// and re-stepping reproduces the original run bit-for-bit (the pinned
+/// `(cycle, seq)` delivery order leaves no hidden scheduler state).
+#[derive(Clone)]
+pub(crate) struct ExecSnapshot {
+    pub(crate) machine: Machine,
+    fifos: PortFifos,
+    reserved: Vec<u32>,
+    out_horizon: Vec<u64>,
+    mem_out: Vec<VecDeque<PendingOut>>,
+    has_fired: Vec<bool>,
+    events: EventQueue,
+    dirty: VecDeque<NodeId>,
+    in_dirty: Vec<bool>,
+    tokengen: Vec<Option<TokenGenState>>,
+    lsq_queue: VecDeque<MemRequest>,
+    lsq_in_flight: u32,
+    seq: u64,
+    pub(crate) now: u64,
+    pub(crate) fired: u64,
+    deferrals: u64,
+    result: Option<(Option<i64>, u64)>,
+    prof: Option<Vec<NodeProfile>>,
+    stall_since: Vec<Option<(u64, StallCause)>>,
+    trace: Option<Vec<TraceEvent>>,
+    recent: Vec<(u32, u64)>,
+    recent_next: usize,
+    crit: CritState,
+    wave: WaveState,
+}
+
+impl ExecSnapshot {
+    /// The waveform capture frozen in this checkpoint (complete history
+    /// since cycle 0 — the capture travels with the snapshot).
+    pub(crate) fn wave_ref(&self) -> &Wave {
+        self.wave.wave()
+    }
 }
 
 impl<'a> Executor<'a> {
-    fn new(
+    pub(crate) fn new(
         g: &'a Graph,
         machine: &'a mut Machine,
         args: &[i64],
@@ -577,6 +650,8 @@ impl<'a> Executor<'a> {
             recent_next: 0,
             crit_on,
             crit,
+            waves_on: config.waves,
+            wave: if config.waves { WaveState::new(num_out, num_in, n) } else { WaveState::off() },
         };
         // Kick off: initial tokens fire at cycle 0 (each is a root of the
         // last-arrival DAG); every node with only sticky inputs is
@@ -621,7 +696,7 @@ impl<'a> Executor<'a> {
 
     /// One scheduler round: deliveries, LSQ issue, firing, time advance.
     /// Returns `Ok(Some(result))` on completion, `Ok(None)` to continue.
-    fn step_once(&mut self) -> Result<Option<SimResult>, SimError> {
+    pub(crate) fn step_once(&mut self) -> Result<Option<SimResult>, SimError> {
         {
             // 1. Deliver everything scheduled for `now`. Delivery never
             // schedules new same-cycle events (zero-latency emission calls
@@ -708,6 +783,9 @@ impl<'a> Executor<'a> {
         } else {
             EdgeClass::Data
         };
+        if self.waves_on {
+            self.wave.record_out(self.flat.out_id(node, port) as usize, self.now, value);
+        }
         let (start, end) = self.flat.consumer_range(node, port);
         for i in start..end {
             let u = self.flat.consumer_at(i);
@@ -718,6 +796,9 @@ impl<'a> Executor<'a> {
             let at = self.fifos.push_back(u.dst_flat as usize, (seq, value));
             if self.crit_on {
                 self.crit.channel_push(at, fire, self.now, crit_class);
+            }
+            if self.waves_on {
+                self.wave.record_occ_push(u.dst_flat as usize, self.now);
             }
             self.mark_dirty(u.dst);
         }
@@ -748,6 +829,9 @@ impl<'a> Executor<'a> {
         let ((_, v), at) = self.fifos.pop_front(fp).expect("pop of available input");
         if self.crit_on {
             self.crit.pop_and_offer(at);
+        }
+        if self.waves_on {
+            self.wave.record_occ_pop(fp, self.now);
         }
         // Wake the producer only on a full→non-full transition: a producer
         // can be space-blocked on this channel only if it was full, and
@@ -886,6 +970,7 @@ impl<'a> Executor<'a> {
             self.crit.timeline.finish(cycles);
             critpath::summarize(&self.crit, self.g)
         });
+        let waves = self.waves_on.then(|| std::mem::take(&mut self.wave).into_wave(cycles));
         SimResult {
             ret,
             cycles,
@@ -897,7 +982,84 @@ impl<'a> Executor<'a> {
             profile,
             trace,
             crit,
+            waves,
         }
+    }
+
+    /// Current simulated cycle (for the replay driver).
+    pub(crate) fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// The live waveform capture (for replay breakpoint evaluation).
+    pub(crate) fn wave_ref(&self) -> &Wave {
+        self.wave.wave()
+    }
+
+    /// Clones every piece of run-time state into a restorable checkpoint.
+    /// Static, rebuild-from-graph state (flat ports, sticky tables,
+    /// once-only sets) is deliberately excluded: [`Self::restore`] is
+    /// applied to a freshly constructed executor for the same
+    /// (graph, args, config), which recomputes it deterministically.
+    pub(crate) fn snapshot(&self) -> ExecSnapshot {
+        ExecSnapshot {
+            machine: self.machine.clone(),
+            fifos: self.fifos.clone(),
+            reserved: self.reserved.clone(),
+            out_horizon: self.out_horizon.clone(),
+            mem_out: self.mem_out.clone(),
+            has_fired: self.has_fired.clone(),
+            events: self.events.clone(),
+            dirty: self.dirty.clone(),
+            in_dirty: self.in_dirty.clone(),
+            tokengen: self.tokengen.clone(),
+            lsq_queue: self.lsq_queue.clone(),
+            lsq_in_flight: self.lsq_in_flight,
+            seq: self.seq,
+            now: self.now,
+            fired: self.fired,
+            deferrals: self.deferrals,
+            result: self.result,
+            prof: self.prof.clone(),
+            stall_since: self.stall_since.clone(),
+            trace: self.trace.clone(),
+            recent: self.recent.clone(),
+            recent_next: self.recent_next,
+            crit: self.crit.clone(),
+            wave: self.wave.clone(),
+        }
+    }
+
+    /// Overwrites this executor's run-time state with a checkpoint taken
+    /// by [`Self::snapshot`] on an executor for the same (graph, args,
+    /// config). Because delivery order is pinned by `(cycle, seq)` and the
+    /// snapshot carries `seq`, re-execution from here is bit-identical to
+    /// the original run — the invariant the replay debugger rests on.
+    pub(crate) fn restore(&mut self, s: &ExecSnapshot) {
+        *self.machine = s.machine.clone();
+        self.fifos = s.fifos.clone();
+        self.reserved = s.reserved.clone();
+        self.out_horizon = s.out_horizon.clone();
+        self.mem_out = s.mem_out.clone();
+        self.has_fired = s.has_fired.clone();
+        self.events = s.events.clone();
+        self.dirty = s.dirty.clone();
+        self.in_dirty = s.in_dirty.clone();
+        self.tokengen = s.tokengen.clone();
+        self.lsq_queue = s.lsq_queue.clone();
+        self.lsq_in_flight = s.lsq_in_flight;
+        self.seq = s.seq;
+        self.now = s.now;
+        self.fired = s.fired;
+        self.deferrals = s.deferrals;
+        self.result = s.result;
+        self.prof = s.prof.clone();
+        self.stall_since = s.stall_since.clone();
+        self.trace = s.trace.clone();
+        self.recent = s.recent.clone();
+        self.recent_next = s.recent_next;
+        self.crit = s.crit.clone();
+        self.wave = s.wave.clone();
     }
 
     /// Every node that holds partial inputs (or is ready but blocked on
@@ -1030,6 +1192,10 @@ impl<'a> Executor<'a> {
                 if self.prof.is_some() {
                     self.note_stall(id);
                 }
+                if self.waves_on {
+                    let code = stall_code(self.classify_stall(id));
+                    self.wave.record_stall(id.index(), self.now, code);
+                }
                 return;
             }
             self.fired += 1;
@@ -1042,6 +1208,10 @@ impl<'a> Executor<'a> {
             self.recent_next = (self.recent_next + 1) % RECENT_CAP;
             if self.prof.is_some() {
                 self.note_fire(id);
+            }
+            if self.waves_on {
+                self.wave.record_fire(id.index(), self.now);
+                self.wave.record_stall(id.index(), self.now, 0);
             }
             if let Some(tr) = self.trace.as_mut() {
                 tr.push(TraceEvent::Fire { node: id, cycle: self.now });
@@ -1155,6 +1325,9 @@ impl<'a> Executor<'a> {
                 }
                 let v = self.pop_input(id, 0);
                 let p = self.pop_input(id, 1);
+                if self.waves_on {
+                    self.wave.record_pred(id.index(), self.now, p != 0);
+                }
                 if p != 0 {
                     let fr = self.crit_fire_rec();
                     self.emit_now(id, 0, v, fr);
@@ -1191,6 +1364,9 @@ impl<'a> Executor<'a> {
                 let addr = self.pop_input(id, 0) as u64;
                 let pred = self.pop_input(id, 1);
                 self.pop_input(id, 2); // token
+                if self.waves_on {
+                    self.wave.record_pred(id.index(), self.now, pred != 0);
+                }
                 let fr = self.crit_fire_rec();
                 self.reserve(id, 0);
                 self.reserve(id, 1);
@@ -1227,6 +1403,9 @@ impl<'a> Executor<'a> {
                 let value = self.pop_input(id, 1);
                 let pred = self.pop_input(id, 2);
                 self.pop_input(id, 3); // token
+                if self.waves_on {
+                    self.wave.record_pred(id.index(), self.now, pred != 0);
+                }
                 let fr = self.crit_fire_rec();
                 self.reserve(id, 0);
                 if pred == 0 {
@@ -1255,6 +1434,9 @@ impl<'a> Executor<'a> {
                 let pred = self.pop_input(id, 0);
                 self.pop_input(id, 1);
                 let v = if has_value { Some(self.pop_input(id, 2)) } else { None };
+                if self.waves_on {
+                    self.wave.record_pred(id.index(), self.now, pred != 0);
+                }
                 if pred != 0 {
                     if self.crit_on {
                         let fr = self.crit.fire_rec(self.now);

@@ -45,8 +45,10 @@ pub mod critpath;
 pub mod exec;
 pub mod memory;
 pub mod profile;
+pub mod replay;
 mod sched;
 pub mod trace;
+pub mod wavecap;
 pub mod waves;
 
 pub use backend::{backend_for, BackendKind, CompiledBackend, EventBackend, SimBackend};
@@ -55,7 +57,9 @@ pub use critpath::{CritEdge, CritSummary, EdgeClass};
 pub use exec::{diagnose, simulate, BlockedNode, SimConfig, SimError, SimResult};
 pub use memory::{CacheParams, Machine, MemStats, MemSystem, MemTimeline};
 pub use profile::{kind_label, NodeProfile, SimProfile, StallCause};
+pub use replay::{Breakpoint, Cmp, Replay, StopReason};
 pub use trace::{Trace, TraceEvent};
+pub use wavecap::{stall_code, stall_label, Wave};
 pub use waves::{simulate_lowered, BatchRunner};
 
 #[cfg(test)]

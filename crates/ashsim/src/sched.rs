@@ -90,6 +90,7 @@ impl Ord for EvBox {
 /// discipline bounds every channel at `channel_capacity` entries, so
 /// fixed-size slots suffice and the delivery path never allocates; one
 /// slab replaces a heap block per port.
+#[derive(Clone)]
 pub(crate) struct PortFifos {
     pub(crate) cap: usize,
     slots: Vec<(u64, i64)>,
@@ -196,6 +197,7 @@ pub(crate) const RING: u64 = 256;
 /// processed in `(cycle, seq)` order. Within a bucket, pushes happen in
 /// ascending `seq` order, so a bucket drain is already sorted; a sort is
 /// needed only on the rare cycle where the overflow heap contributes too.
+#[derive(Clone)]
 pub(crate) struct EventQueue {
     /// `ring[t % RING]` holds `(t, seq, ev)` entries for cycle `t` (and,
     /// transiently, for `t + k·RING` — filtered on drain).

@@ -28,6 +28,7 @@ use crate::memory::Machine;
 use crate::profile::{kind_label, NodeProfile, SimProfile, StallCause};
 use crate::sched::{Ev, EventQueue, MemRequest, PendingOut, PortFifos, TokenGenState, RECENT_CAP};
 use crate::trace::{Trace, TraceEvent};
+use crate::wavecap::{stall_code, WaveState};
 use pegasus::{Graph, NodeId, VClass};
 use std::collections::VecDeque;
 
@@ -141,6 +142,11 @@ struct CompiledExec<'a> {
     recent_next: usize,
     crit_on: bool,
     crit: CritState,
+    /// Waveform capture, hooked at the same sites as the event backend's
+    /// (`wavecap` module docs): the captures are element-identical, so
+    /// both backends render byte-identical VCD.
+    waves_on: bool,
+    wave: WaveState,
 }
 
 impl<'a> CompiledExec<'a> {
@@ -273,6 +279,8 @@ impl<'a> CompiledExec<'a> {
             recent_next: 0,
             crit_on,
             crit,
+            waves_on: config.waves,
+            wave: if config.waves { WaveState::new(num_out, num_in, n) } else { WaveState::off() },
         };
         // Kick off, in node order like the event backend: initial tokens
         // deliver at cycle 0; everything else joins the first wave.
@@ -400,6 +408,9 @@ impl<'a> CompiledExec<'a> {
         } else {
             EdgeClass::Data
         };
+        if self.waves_on {
+            self.wave.record_out(oid as usize, self.now, value);
+        }
         let (start, end) = self.prog.flat.consumer_range_of(oid);
         for i in start..end {
             let u = self.prog.flat.consumer_at(i);
@@ -410,6 +421,9 @@ impl<'a> CompiledExec<'a> {
             let at = self.fifos.push_back(u.dst_flat as usize, (seq, value));
             if self.crit_on {
                 self.crit.channel_push(at, fire, self.now, crit_class);
+            }
+            if self.waves_on {
+                self.wave.record_occ_push(u.dst_flat as usize, self.now);
             }
             self.mark_ready(u.dst.0);
         }
@@ -436,6 +450,9 @@ impl<'a> CompiledExec<'a> {
         let ((_, v), at) = self.fifos.pop_front(fp).expect("pop of available input");
         if self.crit_on {
             self.crit.pop_and_offer(at);
+        }
+        if self.waves_on {
+            self.wave.record_occ_pop(fp, self.now);
         }
         if was_full {
             self.mark_ready(self.prog.in_src[fp]);
@@ -548,6 +565,7 @@ impl<'a> CompiledExec<'a> {
             self.crit.timeline.finish(cycles);
             critpath::summarize(&self.crit, self.g)
         });
+        let waves = self.waves_on.then(|| std::mem::take(&mut self.wave).into_wave(cycles));
         SimResult {
             ret,
             cycles,
@@ -559,6 +577,7 @@ impl<'a> CompiledExec<'a> {
             profile,
             trace,
             crit,
+            waves,
         }
     }
 
@@ -672,6 +691,10 @@ impl<'a> CompiledExec<'a> {
                 if self.prof.is_some() {
                     self.note_stall(i);
                 }
+                if self.waves_on {
+                    let code = stall_code(self.classify_stall(i));
+                    self.wave.record_stall(i as usize, self.now, code);
+                }
                 return;
             }
             self.fired += 1;
@@ -684,6 +707,10 @@ impl<'a> CompiledExec<'a> {
             self.recent_next = (self.recent_next + 1) % RECENT_CAP;
             if self.prof.is_some() {
                 self.note_fire(i);
+            }
+            if self.waves_on {
+                self.wave.record_fire(i as usize, self.now);
+                self.wave.record_stall(i as usize, self.now, 0);
             }
             if let Some(tr) = self.trace.as_mut() {
                 tr.push(TraceEvent::Fire { node: NodeId(i), cycle: self.now });
@@ -806,6 +833,9 @@ impl<'a> CompiledExec<'a> {
                 }
                 let v = self.pop_input(inb as usize);
                 let p = self.pop_input(inb as usize + 1);
+                if self.waves_on {
+                    self.wave.record_pred(i as usize, self.now, p != 0);
+                }
                 if p != 0 {
                     let fr = self.crit_fire_rec();
                     self.emit_now(outb, v, fr);
@@ -842,6 +872,9 @@ impl<'a> CompiledExec<'a> {
                 let addr = self.pop_input(inb as usize) as u64;
                 let pred = self.pop_input(inb as usize + 1);
                 self.pop_input(inb as usize + 2); // token
+                if self.waves_on {
+                    self.wave.record_pred(i as usize, self.now, pred != 0);
+                }
                 let fr = self.crit_fire_rec();
                 self.reserve(outb);
                 self.reserve(outb + 1);
@@ -877,6 +910,9 @@ impl<'a> CompiledExec<'a> {
                 let value = self.pop_input(inb as usize + 1);
                 let pred = self.pop_input(inb as usize + 2);
                 self.pop_input(inb as usize + 3); // token
+                if self.waves_on {
+                    self.wave.record_pred(i as usize, self.now, pred != 0);
+                }
                 let fr = self.crit_fire_rec();
                 self.reserve(outb);
                 if pred == 0 {
@@ -905,6 +941,9 @@ impl<'a> CompiledExec<'a> {
                 let pred = self.pop_input(inb as usize);
                 self.pop_input(inb as usize + 1);
                 let v = if has_value { Some(self.pop_input(inb as usize + 2)) } else { None };
+                if self.waves_on {
+                    self.wave.record_pred(i as usize, self.now, pred != 0);
+                }
                 if pred != 0 {
                     if self.crit_on {
                         let fr = self.crit.fire_rec(self.now);

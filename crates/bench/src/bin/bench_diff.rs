@@ -10,14 +10,28 @@
 //! threshold — soft: wall time is machine-dependent, so those findings
 //! are warnings and never affect the exit code. The `sim.cycles` gate
 //! still applies.
+//!
+//! Two trajectory modes ride along:
+//!
+//! ```text
+//! bench_diff --record HISTORY.jsonl FILES...   append one headline record per file
+//! bench_diff --history HISTORY.jsonl           print the recorded trend
+//! ```
+//!
+//! `scripts/check.sh` records each fig18/fig19 regeneration into
+//! `BENCH_history.jsonl`, so the trend shows how `sim.cycles` and
+//! `sim.us` moved across local gate runs, not just against the last
+//! committed baseline.
 
-use cash_bench::diff::{diff, wall_diff};
+use cash_bench::diff::{diff, history_record, history_trend, wall_diff};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files = Vec::new();
     let mut threshold = 10.0f64;
     let mut wall = false;
+    let mut record: Option<String> = None;
+    let mut history: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,13 +43,20 @@ fn main() {
                     .unwrap_or_else(|| usage("--threshold needs a number"));
             }
             "--wall" => wall = true,
+            "--record" => {
+                i += 1;
+                record =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--record needs a file")));
+            }
+            "--history" => {
+                i += 1;
+                history =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--history needs a file")));
+            }
             "--help" | "-h" => usage(""),
             a => files.push(a.to_string()),
         }
         i += 1;
-    }
-    if files.len() != 2 {
-        usage("expected exactly two files");
     }
     let read = |path: &str| {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -43,6 +64,45 @@ fn main() {
             std::process::exit(2);
         })
     };
+    if let Some(path) = history {
+        if !files.is_empty() || record.is_some() {
+            usage("--history takes no other files");
+        }
+        print!("{}", history_trend(&read(&path)));
+        return;
+    }
+    if let Some(path) = record {
+        if files.is_empty() {
+            usage("--record needs at least one stats file");
+        }
+        let mut appended = 0;
+        let mut out = String::new();
+        for f in &files {
+            match history_record(&read(f)) {
+                Some(rec) => {
+                    out.push_str(&rec);
+                    out.push('\n');
+                    appended += 1;
+                }
+                None => eprintln!("bench_diff: {f}: no stats rows, not recorded"),
+            }
+        }
+        use std::io::Write;
+        let mut h =
+            std::fs::OpenOptions::new().create(true).append(true).open(&path).unwrap_or_else(|e| {
+                eprintln!("bench_diff: cannot open {path}: {e}");
+                std::process::exit(2);
+            });
+        h.write_all(out.as_bytes()).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot append to {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("bench_diff: recorded {appended} run{} into {path}", plural(appended));
+        return;
+    }
+    if files.len() != 2 {
+        usage("expected exactly two files");
+    }
     let old_text = read(&files[0]);
     let new_text = read(&files[1]);
     let rep = diff(&old_text, &new_text, threshold);
@@ -59,10 +119,22 @@ fn main() {
     }
 }
 
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
 fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("bench_diff: {err}");
     }
-    eprintln!("usage: bench_diff OLD.json NEW.json [--threshold PCT] [--wall]");
+    eprintln!(
+        "usage: bench_diff OLD.json NEW.json [--threshold PCT] [--wall]\n\
+         \x20      bench_diff --record HISTORY.jsonl FILES...\n\
+         \x20      bench_diff --history HISTORY.jsonl"
+    );
     std::process::exit(2);
 }

@@ -1,0 +1,367 @@
+//! cashdbg: deterministic replay debugger for the self-timed simulator.
+//!
+//! Records one full run with waveform capture and periodic executor
+//! checkpoints, then drops into an interactive stepper. Because delivery
+//! order is pinned to `(cycle, seq)`, re-execution from any checkpoint is
+//! bit-identical — reverse-step restores the nearest earlier checkpoint
+//! and replays forward, so time travel is exact, not approximate.
+//!
+//! ```text
+//! cargo run --release -p cash-bench --bin cashdbg -- \
+//!     [KERNEL] [--opt LEVEL] [--arg N] [--interval K]
+//! ```
+//!
+//! Commands (also `help` at the prompt):
+//!
+//! ```text
+//! run <cycle>             run forward to an absolute cycle
+//! step [n] / rstep [n]    step forward / backward n cycles (default 1)
+//! cont                    run until a breakpoint or the end
+//! break fire <node>                   stop when the node fires
+//! break value <node> <port> <op> <v>  stop when an output satisfies op
+//! break stall [<node>] <class>        stop on a stall class (node optional)
+//! breaks / delete <i>     list / remove breakpoints
+//! crit [k]                jump to the next (or k-th) critical-path hop
+//! node <id>               signal state of one node at the cursor
+//! info                    session status
+//! quit                    exit
+//! ```
+
+use cash::{kind_label, stall_label, Breakpoint, Cmp, OptLevel, Replay, SimConfig, StopReason};
+use pegasus::{FlatPorts, NodeId};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut kernel = "g721_e".to_string();
+    let mut level = OptLevel::Full;
+    let mut arg_override: Option<i64> = None;
+    let mut interval = 256u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--opt" => {
+                i += 1;
+                level = args
+                    .get(i)
+                    .and_then(|s| parse_level(s))
+                    .unwrap_or_else(|| usage("--opt needs none|basic|medium|full"));
+            }
+            "--arg" => {
+                i += 1;
+                arg_override = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--arg needs a number")),
+                );
+            }
+            "--interval" => {
+                i += 1;
+                interval = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--interval needs a cycle count"));
+            }
+            "--help" | "-h" => usage(""),
+            a => kernel = a.to_string(),
+        }
+        i += 1;
+    }
+
+    let w = workloads::by_name(&kernel).unwrap_or_else(|| {
+        eprintln!("cashdbg: unknown kernel `{kernel}`; known kernels:");
+        for w in workloads::suite() {
+            eprintln!("  {}", w.name);
+        }
+        std::process::exit(2);
+    });
+    let arg = arg_override.unwrap_or((w.default_arg / 8).max(1));
+
+    let p = w.compile(level).unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    let cfg = SimConfig::perfect();
+    let machine = p.machine(cfg.mem.clone());
+    eprintln!("cashdbg: recording {kernel} {level} arg={arg} (checkpoint every {interval} cycles)");
+    let mut rp = Replay::new(&p.graph, machine, &[arg], &cfg, interval)
+        .unwrap_or_else(|e| panic!("{kernel}: {e}"));
+    let flat = FlatPorts::new(&p.graph);
+    eprintln!(
+        "cashdbg: {} cycles, {} firings, {} checkpoints, {} critical-path hops — type `help`",
+        rp.final_result().cycles,
+        rp.final_result().fired,
+        rp.checkpoint_cycles().len(),
+        rp.hops().len()
+    );
+
+    let stdin = std::io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("cashdbg@{}> ", rp.now());
+        std::io::stdout().flush().ok();
+        let line = match lines.next() {
+            Some(Ok(l)) => l,
+            _ => break,
+        };
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let stop = match toks.as_slice() {
+            [] => continue,
+            ["quit" | "exit" | "q"] => break,
+            ["help" | "h"] => {
+                print_help();
+                continue;
+            }
+            ["info"] => {
+                print_info(&rp);
+                continue;
+            }
+            ["breaks"] => {
+                for (i, b) in rp.breaks() {
+                    println!("  #{i}: {b}");
+                }
+                continue;
+            }
+            ["delete", n] => {
+                match n.parse::<usize>() {
+                    Ok(i) if rp.delete_break(i) => println!("deleted #{i}"),
+                    _ => println!("no breakpoint `{n}`"),
+                }
+                continue;
+            }
+            ["break", "fire", n] => match parse_node(n) {
+                Some(id) => {
+                    let i = rp.add_break(Breakpoint::Fire(id));
+                    println!("breakpoint #{i}: fire {id}");
+                    continue;
+                }
+                None => {
+                    println!("break fire <node>");
+                    continue;
+                }
+            },
+            ["break", "value", n, port, op, v] => {
+                match (
+                    parse_node(n),
+                    port.parse::<u16>().ok(),
+                    Cmp::parse(op),
+                    v.parse::<i64>().ok(),
+                ) {
+                    (Some(node), Some(port), Some(cmp), Some(value)) => {
+                        let i = rp.add_break(Breakpoint::Value { node, port, cmp, value });
+                        println!("breakpoint #{i}: value {node}.out{port} {} {value}", cmp.label());
+                        continue;
+                    }
+                    _ => {
+                        println!("break value <node> <port> <==|!=|<|<=|>|>=> <value>");
+                        continue;
+                    }
+                }
+            }
+            ["break", "stall", class] => match parse_stall(class) {
+                Some(code) => {
+                    let i = rp.add_break(Breakpoint::Stall { node: None, code });
+                    println!("breakpoint #{i}: stall * {}", stall_label(code));
+                    continue;
+                }
+                None => {
+                    println!("break stall [<node>] <data|pred|token|lsq|output>");
+                    continue;
+                }
+            },
+            ["break", "stall", n, class] => match (parse_node(n), parse_stall(class)) {
+                (Some(id), Some(code)) => {
+                    let i = rp.add_break(Breakpoint::Stall { node: Some(id), code });
+                    println!("breakpoint #{i}: stall {id} {}", stall_label(code));
+                    continue;
+                }
+                _ => {
+                    println!("break stall [<node>] <data|pred|token|lsq|output>");
+                    continue;
+                }
+            },
+            ["node", n] => {
+                match parse_node(n) {
+                    Some(id) => print_node(&rp, &p.graph, &flat, id),
+                    None => println!("node <id>"),
+                }
+                continue;
+            }
+            ["run" | "goto", c] => match c.parse::<u64>() {
+                Ok(c) => rp.run_to(c),
+                Err(_) => {
+                    println!("run <cycle>");
+                    continue;
+                }
+            },
+            ["step" | "s"] => rp.step(1),
+            ["step" | "s", n] => rp.step(n.parse().unwrap_or(1)),
+            ["rstep" | "rs"] => rp.reverse_step(1),
+            ["rstep" | "rs", n] => rp.reverse_step(n.parse().unwrap_or(1)),
+            ["cont" | "c"] => rp.cont(),
+            ["crit"] => jump_crit(&mut rp, &p.graph, None),
+            ["crit", k] => match k.parse::<usize>() {
+                Ok(k) => jump_crit(&mut rp, &p.graph, Some(k)),
+                Err(_) => {
+                    println!("crit [k]");
+                    continue;
+                }
+            },
+            _ => {
+                println!("unknown command `{line}` — try `help`");
+                continue;
+            }
+        };
+        match stop {
+            Ok(StopReason::Finished) => {
+                let r = rp.finished().expect("finished cursor has a result");
+                println!("finished at cycle {}: ret={:?}, {} firings", r.cycles, r.ret, r.fired);
+            }
+            Ok(StopReason::Cycle(c)) => println!("stopped at cycle {c}"),
+            Ok(StopReason::Breakpoint { index, cycle, what }) => {
+                println!("breakpoint #{index} at cycle {cycle}: {what}");
+            }
+            Err(e) => println!("simulation error: {e}"),
+        }
+    }
+}
+
+/// `crit` jumps the cursor along the recorded dynamic critical path:
+/// without an index, to the first hop strictly after the cursor; with
+/// one, to that hop. Runs forward (or reverse-steps back) to its cycle.
+fn jump_crit(
+    rp: &mut Replay<'_>,
+    g: &pegasus::Graph,
+    k: Option<usize>,
+) -> Result<StopReason, cash::SimError> {
+    let hops = rp.hops().to_vec();
+    if hops.is_empty() {
+        println!("no critical path recorded");
+        return Ok(StopReason::Cycle(rp.now()));
+    }
+    let now = rp.now();
+    let idx = match k {
+        Some(k) => {
+            if k >= hops.len() {
+                println!("critical path has {} hops (0..{})", hops.len(), hops.len() - 1);
+                return Ok(StopReason::Cycle(now));
+            }
+            k
+        }
+        None => match hops.iter().position(|&(_, t)| t > now) {
+            Some(i) => i,
+            None => {
+                println!("cursor is past the last critical-path hop");
+                return Ok(StopReason::Cycle(now));
+            }
+        },
+    };
+    let (node, t) = hops[idx];
+    println!(
+        "crit hop {}/{}: {} {} fires at cycle {t}",
+        idx,
+        hops.len() - 1,
+        kind_label(g.kind(node)),
+        node
+    );
+    if t < now {
+        rp.reverse_step(now - t)
+    } else {
+        rp.run_to(t)
+    }
+}
+
+/// One node's signal state at the cursor: last output values, FIFO
+/// occupancies, firing count and stall class, all reconstructed from the
+/// capture (cursor snapshots carry the full history up to `now`).
+fn print_node(rp: &Replay<'_>, g: &pegasus::Graph, flat: &FlatPorts, id: NodeId) {
+    if id.index() >= g.len() {
+        println!("node {id} out of range (graph has {} nodes)", g.len());
+        return;
+    }
+    let w = rp.wave();
+    let now = rp.now();
+    let at = |t: u64| t <= now;
+    println!("{} {} @ cycle {now}:", kind_label(g.kind(id)), id);
+    let fired = w.fire_list(id.index()).iter().filter(|&&t| at(t)).count();
+    let stall = w.stall_list(id.index()).iter().rev().find(|&&(t, _)| at(t));
+    println!("  fired {fired}x, state {}", stall.map_or("ready", |&(_, c)| stall_label(c)));
+    let (ob, oe) = flat.out_range(id);
+    for (p, oid) in (ob..oe).enumerate() {
+        match w.out_list(oid as usize).iter().rev().find(|&&(t, _)| at(t)) {
+            Some(&(t, v)) => println!("  out{p} = {v} (since cycle {t})"),
+            None => println!("  out{p} = x"),
+        }
+    }
+    let (ib, ie) = flat.in_range(id);
+    for (p, fp) in (ib..ie).enumerate() {
+        let occ =
+            w.occ_list(fp as usize).iter().rev().find(|&&(t, _)| at(t)).map_or(0, |&(_, d)| d);
+        println!("  in{p} occupancy = {occ}");
+    }
+    if let Some(&(t, pv)) = w.pred_list(id.index()).iter().rev().find(|&&(t, _)| at(t)) {
+        println!("  last predicate = {} (cycle {t})", pv != 0);
+    }
+}
+
+fn print_info(rp: &Replay<'_>) {
+    let cps = rp.checkpoint_cycles();
+    println!(
+        "cursor at cycle {} ({} firings so far); run ends at cycle {}",
+        rp.now(),
+        rp.fired(),
+        rp.final_result().cycles
+    );
+    println!(
+        "{} checkpoints every {} cycles (first {:?}...), {} critical-path hops",
+        cps.len(),
+        rp.interval(),
+        &cps[..cps.len().min(4)],
+        rp.hops().len()
+    );
+    let n = rp.breaks().len();
+    println!("{n} breakpoint{}", if n == 1 { "" } else { "s" });
+}
+
+fn print_help() {
+    println!("  run <cycle>             run forward to an absolute cycle");
+    println!("  step [n] / rstep [n]    step forward / backward (default 1 cycle)");
+    println!("  cont                    run until a breakpoint or the end");
+    println!("  break fire <node>                   stop when the node fires");
+    println!("  break value <node> <port> <op> <v>  stop when out<port> satisfies <op> <v>");
+    println!("  break stall [<node>] <class>        stop on data|pred|token|lsq|output stall");
+    println!("  breaks / delete <i>     list / remove breakpoints");
+    println!("  crit [k]                jump to the next (or k-th) critical-path hop");
+    println!("  node <id>               signal state of one node at the cursor");
+    println!("  info / quit");
+}
+
+fn parse_node(s: &str) -> Option<NodeId> {
+    s.strip_prefix('n').unwrap_or(s).parse::<u32>().ok().map(NodeId)
+}
+
+fn parse_stall(s: &str) -> Option<u8> {
+    match s {
+        "data" => Some(1),
+        "pred" => Some(2),
+        "token" => Some(3),
+        "lsq" => Some(4),
+        "output" => Some(5),
+        _ => None,
+    }
+}
+
+fn parse_level(s: &str) -> Option<OptLevel> {
+    match s.to_ascii_lowercase().as_str() {
+        "none" => Some(OptLevel::None),
+        "basic" => Some(OptLevel::Basic),
+        "medium" => Some(OptLevel::Medium),
+        "full" => Some(OptLevel::Full),
+        _ => None,
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("cashdbg: {err}");
+    }
+    eprintln!("usage: cashdbg [KERNEL] [--opt none|basic|medium|full] [--arg N] [--interval K]");
+    std::process::exit(2);
+}

@@ -144,16 +144,23 @@ fn main() {
         }
         i += 1;
     }
-    let path = path
-        .or_else(|| std::env::var("CASH_STATS_STREAM").ok())
-        .unwrap_or_else(|| usage("no stream file (arg or CASH_STATS_STREAM)"));
+    // `--once` is the CI path: a sweep that never streamed (env unset, or
+    // nothing written yet) is an empty result, not a crash.
+    let path = match path.or_else(|| std::env::var("CASH_STATS_STREAM").ok()) {
+        Some(p) => p,
+        None if once => {
+            println!("cashtop: no stream to read (CASH_STATS_STREAM unset and no file argument)");
+            return;
+        }
+        None => usage("no stream file (arg or CASH_STATS_STREAM)"),
+    };
 
     let mut file = loop {
         match std::fs::File::open(&path) {
             Ok(f) => break f,
             Err(e) if once => {
-                eprintln!("cashtop: cannot open {path}: {e}");
-                std::process::exit(2);
+                println!("cashtop: stream {path} not readable ({e}) — nothing to report");
+                return;
             }
             // Follow mode: the sweep may not have created the file yet.
             Err(_) => std::thread::sleep(std::time::Duration::from_millis(200)),
@@ -181,8 +188,15 @@ fn main() {
             }
         }
         if once {
-            if !carry.trim().is_empty() {
-                view.ingest(carry.trim());
+            // A writer killed mid-record leaves a truncated last line;
+            // only fold it in when it closed its JSON object.
+            let tail = carry.trim();
+            if !tail.is_empty() {
+                if tail.ends_with('}') {
+                    view.ingest(tail);
+                } else {
+                    eprintln!("cashtop: ignoring truncated final record ({} bytes)", tail.len());
+                }
             }
             print!("{}", view.render(start.elapsed().as_secs_f64()));
             return;

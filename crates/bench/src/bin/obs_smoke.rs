@@ -58,31 +58,43 @@ fn main() {
     // The perf_smoke pair: one control-heavy, one memory-heavy kernel.
     let picks = ["g721_e", "129.compress"];
     let cfg = SimConfig::perfect();
+    // Waveform capture spelled explicitly off: when disabled the capture
+    // hooks must be a branch-not-taken and nothing else, so this side has
+    // to be indistinguishable from the plain baseline. (Capture *on* is
+    // expected to cost — it records every value change — so it is not
+    // part of this gate; `cashwave` is its harness.)
+    let cfg_woff = SimConfig::perfect().with_waves(false);
     let mut total_on = 0u64;
     let mut total_off = 0u64;
+    let mut total_woff = 0u64;
     println!("obs overhead smoke (min of {ROUNDS} interleaved rounds per side):");
     for w in workloads::suite().into_iter().filter(|w| picks.contains(&w.name)) {
         // Warm-up run so first-touch effects (lazy statics, page faults)
         // don't land on one side of the comparison.
         obs::set_enabled(true);
         one_run(&w, &cfg);
-        let (mut on, mut off) = (u64::MAX, u64::MAX);
+        let (mut on, mut off, mut woff) = (u64::MAX, u64::MAX, u64::MAX);
         for _ in 0..ROUNDS {
             obs::set_enabled(true);
             on = on.min(one_run(&w, &cfg));
             obs::set_enabled(false);
             off = off.min(one_run(&w, &cfg));
+            woff = woff.min(one_run(&w, &cfg_woff));
         }
         obs::set_enabled(true);
         let pct = 100.0 * (on as f64 - off as f64) / off.max(1) as f64;
-        println!("  {:<14} on {:>7}us  off {:>7}us  delta {:>+6.2}%", w.name, on, off, pct);
+        println!(
+            "  {:<14} on {:>7}us  off {:>7}us  waves-off {:>7}us  delta {:>+6.2}%",
+            w.name, on, off, woff, pct
+        );
         total_on += on;
         total_off += off;
+        total_woff += woff;
     }
     let pct = 100.0 * (total_on as f64 - total_off as f64) / total_off.max(1) as f64;
     println!(
-        "  {:<14} on {:>7}us  off {:>7}us  delta {:>+6.2}%",
-        "TOTAL", total_on, total_off, pct
+        "  {:<14} on {:>7}us  off {:>7}us  waves-off {:>7}us  delta {:>+6.2}%",
+        "TOTAL", total_on, total_off, total_woff, pct
     );
     let delta_us = total_on.saturating_sub(total_off);
     if pct > threshold && delta_us > NOISE_FLOOR_US {
@@ -100,4 +112,16 @@ fn main() {
     } else {
         println!("obs_smoke: within the {threshold}% budget");
     }
+    // The waves-off gate: same estimator, same floor. A failure here
+    // means disabled waveform capture is no longer free on the hot path.
+    let wpct = 100.0 * (total_woff as f64 - total_off as f64) / total_off.max(1) as f64;
+    let wdelta_us = total_woff.saturating_sub(total_off);
+    if wpct > threshold && wdelta_us > NOISE_FLOOR_US {
+        eprintln!(
+            "obs_smoke: waves-off overhead {wpct:+.2}% ({wdelta_us}us) exceeds the {threshold}% \
+             budget and the {NOISE_FLOOR_US}us noise floor"
+        );
+        std::process::exit(1);
+    }
+    println!("obs_smoke: waves-off within the noise floor ({wpct:+.2}%, {wdelta_us}us)");
 }

@@ -319,6 +319,121 @@ impl WallReport {
     }
 }
 
+// ---- bench trajectory: headline history records and the --history trend ----
+
+/// First top-level `"key":<digits>` of the line (the history records keep
+/// their headline numbers at the top level, so the first match is it).
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let end = line[i..].find(|c: char| !c.is_ascii_digit())? + i;
+    line[i..end].parse().ok()
+}
+
+/// Condenses one `BENCH_*.json` telemetry file into a single
+/// `cash-bench-history-v1` JSONL record carrying its headline numbers:
+/// summed `sim.cycles` and `sim.us` across all rows, plus the backend
+/// that produced them. `scripts/check.sh` appends one of these per
+/// regeneration, so `BENCH_history.jsonl` becomes the perf trajectory.
+/// Returns `None` when the file has no stats rows.
+pub fn history_record(text: &str) -> Option<String> {
+    let mut bench: Option<String> = None;
+    let mut backend: Option<String> = None;
+    let (mut cycles, mut us, mut rows) = (0u64, 0u64, 0u64);
+    for line in text.lines() {
+        let (Some(b), Some(c), Some(u)) = (
+            field_str(line, "bench"),
+            section_u64(line, "sim", "cycles"),
+            section_u64(line, "sim", "us"),
+        ) else {
+            continue;
+        };
+        bench.get_or_insert_with(|| b.to_string());
+        if backend.is_none() {
+            backend = field_str(line, "backend").map(str::to_string);
+        }
+        cycles += c;
+        us += u;
+        rows += 1;
+    }
+    let bench = bench?;
+    Some(format!(
+        "{{\"schema\":\"cash-bench-history-v1\",\"bench\":\"{bench}\",\"backend\":\"{}\",\
+         \"rows\":{rows},\"cycles\":{cycles},\"us\":{us}}}",
+        backend.unwrap_or_else(|| "?".into()),
+    ))
+}
+
+/// Renders the trend of a `BENCH_history.jsonl` file: per bench, every
+/// recorded run with its cycle and wall-time movement against the
+/// previous one. Cycles are deterministic (movement means the circuits
+/// changed); wall time is machine noise unless it trends.
+pub fn history_trend(text: &str) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut by: HashMap<String, Vec<(String, u64, u64)>> = HashMap::new();
+    for line in text.lines() {
+        if field_str(line, "schema") != Some("cash-bench-history-v1") {
+            continue;
+        }
+        let (Some(bench), Some(cycles), Some(us)) =
+            (field_str(line, "bench"), field_u64(line, "cycles"), field_u64(line, "us"))
+        else {
+            continue;
+        };
+        let backend = field_str(line, "backend").unwrap_or("?").to_string();
+        if !by.contains_key(bench) {
+            order.push(bench.to_string());
+        }
+        by.entry(bench.to_string()).or_default().push((backend, cycles, us));
+    }
+    let mut s = String::new();
+    if order.is_empty() {
+        let _ = writeln!(s, "bench_diff --history: no history records");
+        return s;
+    }
+    let pct = |old: u64, new: u64| {
+        if old == 0 {
+            0.0
+        } else {
+            100.0 * (new as f64 - old as f64) / old as f64
+        }
+    };
+    for bench in &order {
+        let runs = &by[bench];
+        let _ = writeln!(s, "{bench}: {} recorded run{}", runs.len(), plural(runs.len()));
+        let mut prev: Option<&(String, u64, u64)> = None;
+        for (i, run) in runs.iter().enumerate() {
+            let (backend, cycles, us) = run;
+            match prev {
+                None => {
+                    let _ = writeln!(
+                        s,
+                        "  #{i:<3} {backend:<8} {cycles:>12} cycles {us:>10} us  (baseline)"
+                    );
+                }
+                Some((_, pc, pu)) => {
+                    let _ = writeln!(
+                        s,
+                        "  #{i:<3} {backend:<8} {cycles:>12} cycles {us:>10} us  ({:+.1}% cycles, {:+.1}% us)",
+                        pct(*pc, *cycles),
+                        pct(*pu, *us),
+                    );
+                }
+            }
+            prev = Some(run);
+        }
+    }
+    s
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,5 +546,42 @@ mod tests {
         assert_eq!(rep.added, vec!["fig19/fresh/Full/perfect".to_string()]);
         assert_eq!(rep.removed, vec!["fig19/gone/Full/perfect".to_string()]);
         assert_eq!(rep.compared, 0);
+    }
+
+    fn timed_line(kernel: &str, cycles: u64, us: u64) -> String {
+        format!(
+            "{{\"schema\":\"cash-stats-v1\",\"bench\":\"fig19\",\"kernel\":\"{kernel}\",\
+             \"level\":\"Full\",\"system\":\"perfect\",\"opt\":{{}},\
+             \"sim\":{{\"ret\":1,\"cycles\":{cycles},\"fired\":9,\"deferrals\":0,\"us\":{us},\
+             \"mem\":{{}},\"backend\":\"event\"}}}}"
+        )
+    }
+
+    #[test]
+    fn history_record_sums_headline_numbers() {
+        let text = format!("{}\n{}\n", timed_line("a", 100, 7), timed_line("b", 250, 3));
+        let rec = history_record(&text).unwrap();
+        assert_eq!(
+            rec,
+            "{\"schema\":\"cash-bench-history-v1\",\"bench\":\"fig19\",\"backend\":\"event\",\
+             \"rows\":2,\"cycles\":350,\"us\":10}"
+        );
+        assert!(history_record("not json\n").is_none());
+    }
+
+    #[test]
+    fn history_trend_tracks_movement_per_bench() {
+        let h = |c: u64, u: u64| {
+            format!(
+                "{{\"schema\":\"cash-bench-history-v1\",\"bench\":\"fig19\",\
+                 \"backend\":\"event\",\"rows\":2,\"cycles\":{c},\"us\":{u}}}"
+            )
+        };
+        let trend = history_trend(&format!("{}\n{}\n{}\n", h(1000, 50), h(1000, 55), h(1200, 40)));
+        assert!(trend.contains("fig19: 3 recorded runs"), "{trend}");
+        assert!(trend.contains("(baseline)"), "{trend}");
+        assert!(trend.contains("+0.0% cycles"), "{trend}");
+        assert!(trend.contains("+20.0% cycles"), "{trend}");
+        assert!(history_trend("").contains("no history records"));
     }
 }

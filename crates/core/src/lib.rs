@@ -41,9 +41,10 @@ pub mod par;
 pub mod stats;
 
 pub use ashsim::{
-    diagnose, kind_label, BackendKind, BlockedNode, CacheParams, CritEdge, CritSummary, EdgeClass,
-    Machine, MemStats, MemSystem, MemTimeline, NodeProfile, SimBackend, SimConfig, SimError,
-    SimProfile, SimResult, StallCause, Trace, TraceEvent,
+    diagnose, kind_label, stall_label, BackendKind, BlockedNode, Breakpoint, CacheParams, Cmp,
+    CritEdge, CritSummary, EdgeClass, Machine, MemStats, MemSystem, MemTimeline, NodeProfile,
+    Replay, SimBackend, SimConfig, SimError, SimProfile, SimResult, StallCause, StopReason, Trace,
+    TraceEvent, Wave,
 };
 pub use lint::{lint, LintConfig, LintDiag, LintReport, Rule as LintRule};
 pub use obs::SpanRec;

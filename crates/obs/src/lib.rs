@@ -41,6 +41,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod span;
 pub mod stream;
+pub mod vcd;
 
 pub use span::{spans_to_json, SpanRec};
 

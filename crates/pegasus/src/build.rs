@@ -231,9 +231,15 @@ impl<'a> Builder<'a> {
                     p = Src::of(self.graph.pred_or(p, ep, hb));
                 }
                 pred[pos] = Some(p);
-                // Merge environments with decoded muxes.
+                // Merge environments with decoded muxes. Registers are
+                // visited in sorted order: iterating the HashMap directly
+                // would let the process-random hash seed pick the Mux
+                // creation order, and node numbering must be a pure
+                // function of the input (the waveform goldens diff it).
                 let mut merged: HashMap<Reg, Src> = HashMap::new();
-                let first_env = env[incoming[0].1].clone();
+                let mut first_env: Vec<(Reg, Src)> =
+                    env[incoming[0].1].iter().map(|(&r, &s)| (r, s)).collect();
+                first_env.sort_unstable_by_key(|&(r, _)| r);
                 'regs: for (r, first_src) in first_env {
                     let mut vals: Vec<(Src, Src)> = vec![(incoming[0].0, first_src)];
                     let mut all_same = true;

@@ -54,6 +54,7 @@ pub mod build;
 pub mod dot;
 pub mod flat;
 pub mod graph;
+pub mod name;
 pub mod reduce;
 pub mod verify;
 

@@ -1,0 +1,142 @@
+//! Stable, identifier-safe signal names for waveform export.
+//!
+//! The VCD scope tree mirrors the hyperblock structure of a Pegasus graph,
+//! so every signal name here must be (a) deterministic for a given graph —
+//! the waveform goldens are byte-stable — and (b) free of whitespace and
+//! VCD-reserved punctuation, which rules out reusing the human-oriented
+//! labels in `ashsim::profile::kind_label` ("const 7", "tk(3)", "<<", …).
+//!
+//! Names are built as `n<id>_<mnemonic>`, e.g. `n12_add`, `n3_eta`,
+//! `n0_const_96`. Scopes are `hb<k>` (suffixed `_loop` for loop
+//! hyperblocks) plus a `global` scope for nodes outside every hyperblock.
+
+use cfgir::types::{BinOp, UnOp};
+
+use crate::graph::{Graph, NodeId, NodeKind};
+
+/// Short identifier-safe mnemonic for an operation kind (no node id).
+pub fn kind_mnemonic(kind: &NodeKind) -> String {
+    match kind {
+        NodeKind::Const { value, .. } => {
+            if *value < 0 {
+                format!("const_m{}", (*value as i128).unsigned_abs())
+            } else {
+                format!("const_{value}")
+            }
+        }
+        NodeKind::Param { index, .. } => format!("arg{index}"),
+        NodeKind::Addr { obj } => format!("addr_{}", obj.0),
+        NodeKind::BinOp { op, .. } => binop_mnemonic(*op).into(),
+        NodeKind::UnOp { op, .. } => unop_mnemonic(*op).into(),
+        NodeKind::Cast { .. } => "cast".into(),
+        NodeKind::Mux { .. } => "mux".into(),
+        NodeKind::Merge { .. } => "merge".into(),
+        NodeKind::Eta { .. } => "eta".into(),
+        NodeKind::Combine => "combine".into(),
+        NodeKind::Load { .. } => "load".into(),
+        NodeKind::Store { .. } => "store".into(),
+        NodeKind::TokenGen { n } => format!("tk{n}"),
+        NodeKind::Return { .. } => "ret".into(),
+        NodeKind::InitialToken => "token0".into(),
+        NodeKind::Removed => "removed".into(),
+    }
+}
+
+fn binop_mnemonic(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::Gt => "gt",
+        BinOp::Ge => "ge",
+        BinOp::LAnd => "land",
+        BinOp::LOr => "lor",
+    }
+}
+
+fn unop_mnemonic(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "neg",
+        UnOp::BitNot => "bnot",
+        UnOp::Not => "not",
+    }
+}
+
+/// The per-node name stem used for every signal of a node: `n<id>_<mnemonic>`.
+pub fn node_stem(g: &Graph, id: NodeId) -> String {
+    format!("n{}_{}", id.0, kind_mnemonic(g.kind(id)))
+}
+
+/// Scope name for a hyperblock id as stored by [`Graph::hb`], where
+/// `u32::MAX` denotes the global (outside-any-hyperblock) scope.
+pub fn scope_name(g: &Graph, hb: u32) -> String {
+    if hb == u32::MAX {
+        "global".into()
+    } else if g.hb_is_loop.get(hb as usize).copied().unwrap_or(false) {
+        format!("hb{hb}_loop")
+    } else {
+        format!("hb{hb}")
+    }
+}
+
+/// Live node ids grouped per scope in deterministic emission order:
+/// hyperblocks ascending, then the global scope, nodes ascending within
+/// each. Scopes with no live nodes are omitted.
+pub fn scoped_nodes(g: &Graph) -> Vec<(String, Vec<NodeId>)> {
+    let num_hbs = g.num_hbs as usize;
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); num_hbs + 1];
+    for id in g.ids() {
+        if matches!(g.kind(id), NodeKind::Removed) {
+            continue;
+        }
+        let hb = g.hb(id);
+        let slot = if hb == u32::MAX { num_hbs } else { hb as usize };
+        buckets[slot].push(id);
+    }
+    let mut out = Vec::new();
+    for (slot, nodes) in buckets.into_iter().enumerate() {
+        if nodes.is_empty() {
+            continue;
+        }
+        let hb = if slot == num_hbs { u32::MAX } else { slot as u32 };
+        out.push((scope_name(g, hb), nodes));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfgir::types::Type;
+
+    #[test]
+    fn mnemonics_are_identifier_safe() {
+        let kinds = [
+            NodeKind::Const { value: -7, ty: Type::int(32) },
+            NodeKind::BinOp { op: BinOp::Shl, ty: Type::int(32) },
+            NodeKind::UnOp { op: UnOp::BitNot, ty: Type::int(32) },
+            NodeKind::TokenGen { n: 3 },
+            NodeKind::InitialToken,
+        ];
+        for k in &kinds {
+            let m = kind_mnemonic(k);
+            assert!(
+                m.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "mnemonic {m:?} contains non-identifier characters"
+            );
+        }
+        assert_eq!(kind_mnemonic(&kinds[0]), "const_m7");
+        assert_eq!(kind_mnemonic(&kinds[1]), "shl");
+    }
+}

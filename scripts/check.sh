@@ -58,4 +58,23 @@ for f in BENCH_fig18.json BENCH_fig19.json; do
     fi
 done
 
+# Non-blocking: append this regeneration's headline numbers (summed
+# sim.cycles / sim.us per figure) to the local trajectory file and print
+# the trend, so drift across gate runs is visible, not just drift against
+# the committed baseline.
+fresh=()
+for f in BENCH_fig18.json BENCH_fig19.json; do
+    [[ -f "target/bench-fresh/$f" ]] && fresh+=("target/bench-fresh/$f")
+done
+if [[ ${#fresh[@]} -gt 0 ]]; then
+    ./target/release/bench_diff --record BENCH_history.jsonl "${fresh[@]}" \
+        && ./target/release/bench_diff --history BENCH_history.jsonl \
+        || echo "bench history recording failed (non-blocking)"
+fi
+
+# Non-blocking: export a GTKWave-viewable waveform for a Figure 19 kernel
+# (CI uploads target/waves/ as an artifact).
+echo "==> cashwave VCD export (informational)"
+./target/release/cashwave g721_e || echo "cashwave failed (non-blocking)"
+
 echo "OK: build, cashlint, tests, fmt and clippy all clean"
